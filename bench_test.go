@@ -1,0 +1,296 @@
+// Package-level benchmarks: one testing.B per table/figure of the paper,
+// at benchmark-friendly scale. cmd/paperbench runs the same experiments
+// with the paper's row/series output and shape checks; these benches make
+// the costs visible to `go test -bench`.
+package imrdmd
+
+import (
+	"testing"
+
+	"imrdmd/internal/bench"
+	"imrdmd/internal/core"
+	"imrdmd/internal/embed"
+)
+
+// —— Table I (E3): initial fit vs incremental addition ——————————————————
+
+func BenchmarkTable1SCLogInitialT2000(b *testing.B) {
+	data := bench.SCLogData(200, 2000, 1)
+	opts := core.Options{DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := core.NewIncremental(opts)
+		if err := inc.InitialFit(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SCLogPartialT2000(b *testing.B) {
+	data := bench.SCLogData(200, 2200, 1)
+	opts := core.Options{DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, 2000)); err != nil {
+		b.Fatal(err)
+	}
+	blk := data.ColSlice(2000, 2200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.PartialFit(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1GPUInitialT2000(b *testing.B) {
+	data := bench.GPUData(200, 2000, 1)
+	opts := core.Options{DT: 3, MaxLevels: 7, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := core.NewIncremental(opts)
+		if err := inc.InitialFit(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1GPUPartialT2000(b *testing.B) {
+	data := bench.GPUData(200, 2200, 1)
+	opts := core.Options{DT: 3, MaxLevels: 7, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, 2000)); err != nil {
+		b.Fatal(err)
+	}
+	blk := data.ColSlice(2000, 2200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.PartialFit(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// —— §IV streaming updates (E1/E2): incremental vs refit ————————————————
+
+func BenchmarkEnvLogIncrementalUpdate(b *testing.B) {
+	data := bench.SCLogData(400, 4400, 1)
+	opts := core.Options{DT: 20, MaxLevels: 8, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, 4000)); err != nil {
+		b.Fatal(err)
+	}
+	blk := data.ColSlice(4000, 4400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.PartialFit(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvLogFullRefit(b *testing.B) {
+	data := bench.SCLogData(400, 4400, 1)
+	opts := core.Options{DT: 20, MaxLevels: 8, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompose(data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPUIncrementalUpdate(b *testing.B) {
+	data := bench.GPUData(400, 2200, 1)
+	opts := core.Options{DT: 3, MaxLevels: 9, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, 2000)); err != nil {
+		b.Fatal(err)
+	}
+	blk := data.ColSlice(2000, 2200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.PartialFit(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPUFullRefit(b *testing.B) {
+	data := bench.GPUData(400, 2200, 1)
+	opts := core.Options{DT: 3, MaxLevels: 9, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompose(data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// —— Fig. 9 (E10): per-method completion time at 1000×1000-scale ————————
+
+func BenchmarkFig9PCA(b *testing.B) {
+	data := bench.SCLogData(500, 1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&embed.PCA{Components: 2}).FitTransform(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9IPCAPartial(b *testing.B) {
+	data := bench.SCLogData(500, 1100, 1)
+	ip := &embed.IPCA{Components: 2, BatchSize: 100}
+	if err := ip.PartialFit(data.ColSlice(0, 1000).T()); err != nil {
+		b.Fatal(err)
+	}
+	blk := data.ColSlice(1000, 1100).T()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ip.PartialFit(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9UMAP(b *testing.B) {
+	data := bench.SCLogData(300, 500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := &embed.UMAP{NNeighbors: 15, Epochs: 50, Seed: 1}
+		if _, err := u.FitTransform(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9MrDMD(b *testing.B) {
+	data := bench.SCLogData(500, 1000, 1)
+	opts := core.Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompose(data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9IMrDMDPartial(b *testing.B) {
+	data := bench.SCLogData(500, 1100, 1)
+	opts := core.Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true, Parallel: true}
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, 1000)); err != nil {
+		b.Fatal(err)
+	}
+	blk := data.ColSlice(1000, 1100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.PartialFit(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// —— Ablations (DESIGN.md §4) ————————————————————————————————————————————
+
+func BenchmarkAblationMaxCycles(b *testing.B) {
+	data := bench.SCLogData(200, 1024, 1)
+	for _, mc := range []int{1, 2, 4, 8} {
+		b.Run(benchName("maxCycles", mc), func(b *testing.B) {
+			opts := core.Options{DT: 20, MaxLevels: 5, MaxCycles: mc, UseSVHT: true, Parallel: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	data := bench.SCLogData(200, 1024, 1)
+	for _, nf := range []int{1, 4, 16} {
+		b.Run(benchName("nyquistFactor", nf), func(b *testing.B) {
+			opts := core.Options{DT: 20, MaxLevels: 5, MaxCycles: 2, NyquistFactor: nf, UseSVHT: true, Parallel: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRank(b *testing.B) {
+	data := bench.SCLogData(200, 1024, 1)
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"svht", core.Options{DT: 20, MaxLevels: 5, MaxCycles: 2, UseSVHT: true, Parallel: true}},
+		{"rank4", core.Options{DT: 20, MaxLevels: 5, MaxCycles: 2, Rank: 4, Parallel: true}},
+		{"rank16", core.Options{DT: 20, MaxLevels: 5, MaxCycles: 2, Rank: 16, Parallel: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(data, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationParallel(b *testing.B) {
+	data := bench.SCLogData(400, 2048, 1)
+	for _, par := range []bool{false, true} {
+		name := "serial"
+		if par {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.Options{DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: par}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

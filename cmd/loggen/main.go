@@ -1,0 +1,107 @@
+// Command loggen generates the synthetic multifidelity logs this
+// repository substitutes for the paper's facility-private data: an
+// environment-log sensor matrix (CSV, one sensor per row), a Cobalt-style
+// job log, and a hardware error log, all deterministic under -seed.
+//
+// Example:
+//
+//	loggen -profile theta -nodes 256 -steps 2000 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"imrdmd/internal/hwlog"
+	"imrdmd/internal/joblog"
+	"imrdmd/internal/stream"
+	"imrdmd/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loggen: ")
+	var (
+		profile = flag.String("profile", "theta", "sensor profile: theta | polaris-gpu")
+		nodes   = flag.Int("nodes", 256, "number of node sensors")
+		steps   = flag.Int("steps", 2000, "number of time steps")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		outDir  = flag.String("out", ".", "output directory")
+		jobs    = flag.Bool("jobs", true, "generate a job schedule and couple temperatures to it")
+		hw      = flag.Bool("hw", true, "generate a hardware error log")
+		hotN    = flag.Int("hot", 2, "number of injected persistently hot nodes")
+		stalled = flag.Int("stalled", 1, "number of injected stalled nodes")
+	)
+	flag.Parse()
+
+	var prof telemetry.Profile
+	switch *profile {
+	case "theta":
+		prof = telemetry.ThetaEnv()
+	case "polaris-gpu":
+		prof = telemetry.PolarisGPU()
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+
+	horizon := float64(*steps) * prof.SampleInterval
+	gen := telemetry.NewGenerator(prof, *nodes, *seed)
+
+	var sched *joblog.Schedule
+	if *jobs {
+		sched = joblog.Simulate(joblog.SimConfig{
+			NumNodes: *nodes, Horizon: horizon, Seed: *seed,
+			MeanInterarrival: horizon / 50, MeanDuration: horizon / 6,
+		})
+		gen.Schedule = sched
+	}
+	for i := 0; i < *hotN; i++ {
+		gen.Anomalies = append(gen.Anomalies, telemetry.Anomaly{
+			Kind: telemetry.HotNode, Node: (i*37 + 5) % *nodes,
+			Start: 0, End: horizon, Magnitude: 12,
+		})
+	}
+	for i := 0; i < *stalled; i++ {
+		gen.Anomalies = append(gen.Anomalies, telemetry.Anomaly{
+			Kind: telemetry.StalledNode, Node: (i*53 + 11) % *nodes,
+			Start: horizon / 4, End: horizon,
+		})
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writeFile := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	writeFile("env.csv", func(f *os.File) error {
+		return stream.WriteCSV(f, gen.Matrix(0, *steps))
+	})
+	if sched != nil {
+		writeFile("jobs.csv", func(f *os.File) error { return sched.WriteCSV(f) })
+	}
+	if *hw {
+		hlog := hwlog.Generate(hwlog.GenConfig{
+			NumNodes: *nodes, Horizon: horizon, Seed: *seed, BackgroundRate: 0.05,
+			Bursts: []hwlog.Burst{
+				{Node: 7 % *nodes, Cat: hwlog.MemCorrectable, Start: horizon / 3, End: 2 * horizon / 3, Count: 20},
+			},
+		})
+		writeFile("hwlog.csv", func(f *os.File) error { return hlog.WriteCSV(f) })
+	}
+	fmt.Printf("profile=%s nodes=%d steps=%d dt=%.0fs horizon=%.1fh\n",
+		prof.Name, *nodes, *steps, prof.SampleInterval, horizon/3600)
+}

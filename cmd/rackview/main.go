@@ -1,0 +1,90 @@
+// Command rackview renders a rack-layout SVG from the paper's layout DSL
+// and a z-score CSV (as written by cmd/imrdmd).
+//
+// Example:
+//
+//	rackview -layout "xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0" \
+//	         -values results/zscores.csv -out rack.svg
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"imrdmd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rackview: ")
+	var (
+		layout  = flag.String("layout", "", "layout spec string (required)")
+		values  = flag.String("values", "", "z-score CSV: sensor,zscore[,class] (required)")
+		title   = flag.String("title", "rack view", "figure title")
+		outPath = flag.String("out", "rack.svg", "output SVG path")
+		outline = flag.String("outline", "", "comma-separated node indices to outline (hardware errors)")
+	)
+	flag.Parse()
+	if *layout == "" || *values == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var z []float64
+	for i, rec := range rows {
+		if i == 0 && len(rec) > 0 && rec[0] == "sensor" {
+			continue
+		}
+		if len(rec) < 2 {
+			log.Fatalf("row %d: want at least sensor,zscore", i)
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil {
+			log.Fatalf("row %d sensor: %v", i, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			log.Fatalf("row %d zscore: %v", i, err)
+		}
+		for len(z) <= idx {
+			z = append(z, math.NaN())
+		}
+		z[idx] = v
+	}
+
+	var outlined []int
+	if *outline != "" {
+		for _, s := range strings.Split(*outline, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("-outline: %v", err)
+			}
+			outlined = append(outlined, n)
+		}
+	}
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := imrdmd.RackView(out, *layout, *title, z, outlined, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", *outPath)
+}

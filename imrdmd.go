@@ -1,0 +1,230 @@
+package imrdmd
+
+import (
+	"io"
+	"math"
+
+	"imrdmd/internal/baseline"
+	"imrdmd/internal/core"
+	"imrdmd/internal/rack"
+	"imrdmd/internal/viz"
+)
+
+// Options configures an Analyzer. The zero value gets sensible defaults
+// (DT=1, MaxLevels=6, MaxCycles=2, 4× Nyquist sampling).
+type Options struct {
+	// DT is the sampling interval between columns (any consistent time
+	// unit; output frequencies are cycles per that unit).
+	DT float64
+	// MaxLevels bounds the multiresolution recursion depth.
+	MaxLevels int
+	// MaxCycles is the slow-mode threshold per window (paper default 2).
+	MaxCycles int
+	// NyquistFactor oversamples each window relative to Nyquist (paper
+	// uses 4).
+	NyquistFactor int
+	// Rank fixes the SVD truncation rank; 0 defers to SVHT.
+	Rank int
+	// UseSVHT enables Gavish–Donoho optimal hard thresholding
+	// (do_svht=True in the paper's Fig. 9 configuration).
+	UseSVHT bool
+	// MinWindow stops recursion below this many columns.
+	MinWindow int
+	// Parallel decomposes sibling windows on separate goroutines.
+	Parallel bool
+
+	// DriftThreshold, when positive, recomputes previously fitted levels
+	// when the level-1 slow-mode drift exceeds it (Algorithm 1's
+	// user-defined threshold).
+	DriftThreshold float64
+	// AsyncRecompute runs those recomputations asynchronously.
+	AsyncRecompute bool
+}
+
+func (o Options) toCore() core.Options {
+	return core.Options{
+		DT:            o.DT,
+		MaxLevels:     o.MaxLevels,
+		MaxCycles:     o.MaxCycles,
+		NyquistFactor: o.NyquistFactor,
+		Rank:          o.Rank,
+		UseSVHT:       o.UseSVHT,
+		MinWindow:     o.MinWindow,
+		Parallel:      o.Parallel,
+	}
+}
+
+// UpdateStats reports one PartialFit (see core.UpdateStats).
+type UpdateStats struct {
+	// Drift is the Frobenius norm of the level-1 slow-mode change over
+	// the previously fitted window.
+	Drift float64
+	// Recomputed reports whether older levels were recomputed.
+	Recomputed bool
+	// NewColumns is the number of absorbed time steps.
+	NewColumns int
+}
+
+// SpectrumPoint is one mode in the mrDMD power spectrum: frequency
+// (Eq. 9), power ‖φ‖² (Eq. 10), amplitude |b|, growth rate Re ψ, and the
+// tree level the mode came from.
+type SpectrumPoint struct {
+	Freq  float64
+	Power float64
+	Amp   float64
+	Grow  float64
+	Level int
+}
+
+// Analyzer is the public I-mrDMD pipeline: initial fit, streamed partial
+// fits, reconstruction, spectrum and baseline z-scores.
+type Analyzer struct {
+	opts Options
+	inc  *core.Incremental
+}
+
+// New creates an Analyzer.
+func New(opts Options) *Analyzer {
+	inc := core.NewIncremental(opts.toCore())
+	inc.DriftThreshold = opts.DriftThreshold
+	inc.AsyncRecompute = opts.AsyncRecompute
+	return &Analyzer{opts: opts, inc: inc}
+}
+
+// InitialFit runs the batch mrDMD over the first window and prepares the
+// incremental state.
+func (a *Analyzer) InitialFit(s *Series) error {
+	return a.inc.InitialFit(s.dense())
+}
+
+// PartialFit absorbs newly streamed time steps (Algorithm 1).
+func (a *Analyzer) PartialFit(s *Series) (UpdateStats, error) {
+	st, err := a.inc.PartialFit(s.dense())
+	return UpdateStats{Drift: st.Drift, Recomputed: st.Recomputed, NewColumns: st.NewColumns}, err
+}
+
+// Wait blocks until asynchronous recomputations (if enabled) finish.
+func (a *Analyzer) Wait() { a.inc.Wait() }
+
+// Steps returns the number of absorbed time steps.
+func (a *Analyzer) Steps() int { return a.inc.Cols() }
+
+// Updates returns the number of PartialFits applied.
+func (a *Analyzer) Updates() int { return a.inc.Updates() }
+
+// DriftLog returns the drift recorded at each PartialFit.
+func (a *Analyzer) DriftLog() []float64 { return a.inc.DriftLog() }
+
+// Reconstruction returns the mrDMD approximation of everything absorbed —
+// the denoised signal of Fig. 3.
+func (a *Analyzer) Reconstruction() *Series {
+	return &Series{m: a.inc.Reconstruct()}
+}
+
+// ReconstructionError returns ‖data − reconstruction‖_F, the quantity the
+// paper reports per case study.
+func (a *Analyzer) ReconstructionError() float64 { return a.inc.ReconError() }
+
+// Spectrum returns every retained mode's spectrum point (Figs. 5/7).
+func (a *Analyzer) Spectrum() []SpectrumPoint {
+	pts := a.inc.Tree().Spectrum()
+	out := make([]SpectrumPoint, len(pts))
+	for i, p := range pts {
+		out[i] = SpectrumPoint{Freq: p.Freq, Power: p.Power, Amp: p.Amp, Grow: p.Grow, Level: p.Level}
+	}
+	return out
+}
+
+// NumModes returns the total retained mode count.
+func (a *Analyzer) NumModes() int { return a.inc.Tree().NumModes() }
+
+// Levels returns the deepest level currently in the tree.
+func (a *Analyzer) Levels() int { return a.inc.Tree().MaxLevel() }
+
+// ModeMagnitudes returns, per sensor, the amplitude-weighted spectral
+// mode magnitude over modes with frequency in [lo, hi] — a spectral view
+// of where each sensor's energy lives.
+func (a *Analyzer) ModeMagnitudes(lo, hi float64) []float64 {
+	return a.inc.Tree().ModeMagnitudes(core.FreqBand{Lo: lo, Hi: hi})
+}
+
+// ReadingLevels returns, per sensor, the time-mean of the band-limited
+// reconstruction — the denoised "readings of interest" the case studies
+// standardize (hot nodes read high, stalled nodes read low).
+func (a *Analyzer) ReadingLevels(lo, hi float64) []float64 {
+	if math.IsInf(hi, 1) {
+		hi = math.MaxFloat64
+	}
+	return a.inc.Tree().ReadingLevels(core.FreqBand{Lo: lo, Hi: hi})
+}
+
+// ZScores standardizes band-limited reading levels against the baseline
+// sensor population, as in the paper's case studies: z > 2 marks
+// dangerously hot components, z < −1.5 idle or stalled nodes.
+func (a *Analyzer) ZScores(baselineIdx []int, lo, hi float64) ([]float64, error) {
+	return baseline.ZScores(a.ReadingLevels(lo, hi), baselineIdx)
+}
+
+// AddSensors extends the analyzer with new sensors carrying their full
+// history (one row per new sensor, one column per absorbed step) — the
+// paper's future-work extension, implemented (see DESIGN.md E13+).
+func (a *Analyzer) AddSensors(s *Series) error {
+	return a.inc.AddSensors(s.dense())
+}
+
+// Sensors returns the current sensor count.
+func (a *Analyzer) Sensors() int { return a.inc.Sensors() }
+
+// CompressionRatio returns raw-data bytes over retained-mode bytes — the
+// paper's terabytes-to-megabytes compression measure.
+func (a *Analyzer) CompressionRatio() float64 {
+	return a.inc.Tree().CompressionRatio()
+}
+
+// StabilizedReconstruction reconstructs with growing modes projected to
+// neutral growth, taming the mrDMD divergence the paper flags at fine
+// temporal resolutions (§VI).
+func (a *Analyzer) StabilizedReconstruction() *Series {
+	tree := a.inc.Tree()
+	tree.StabilizeGrowth()
+	return &Series{m: tree.Reconstruct()}
+}
+
+// BaselineByMeanRange selects sensors whose time-mean lies in [lo, hi],
+// the paper's baseline selection rule.
+func BaselineByMeanRange(s *Series, lo, hi float64) []int {
+	return baseline.SelectByMeanRange(s.dense(), lo, hi)
+}
+
+// ClassifyZ buckets a z-score into the paper's interpretation bands:
+// "cold" (z < −1.5), "near-baseline", "warm", or "hot" (z > 2).
+func ClassifyZ(z float64) string {
+	return baseline.Classify(z).String()
+}
+
+// RackView renders an SVG rack-layout view of per-node z-scores using the
+// paper's layout DSL (e.g. "xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0
+// n:0"). outlined nodes get the dark hardware-error outline; highlighted
+// nodes the red outline.
+func RackView(w io.Writer, layoutSpec, title string, z []float64, outlined, highlighted []int) error {
+	layout, err := rack.Parse(layoutSpec)
+	if err != nil {
+		return err
+	}
+	toSet := func(idx []int) map[int]bool {
+		if len(idx) == 0 {
+			return nil
+		}
+		m := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			m[i] = true
+		}
+		return m
+	}
+	return viz.RenderRackView(w, layout, z, viz.RackViewConfig{
+		Title:       title,
+		ZMax:        5,
+		Outlined:    toSet(outlined),
+		Highlighted: toSet(highlighted),
+	})
+}

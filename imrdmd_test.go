@@ -1,0 +1,189 @@
+package imrdmd
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// syntheticTemps builds a P×T temperature-like series: baseline sensors
+// around 50 °C, `hot` sensors elevated, with slow and fast oscillations.
+func syntheticTemps(seed int64, p, t int, hot []int) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSeries(p, t)
+	hotSet := map[int]bool{}
+	for _, h := range hot {
+		hotSet[h] = true
+	}
+	for i := 0; i < p; i++ {
+		base := 50 + rng.NormFloat64()
+		if hotSet[i] {
+			base += 15
+		}
+		ph := rng.Float64() * 2 * math.Pi
+		for k := 0; k < t; k++ {
+			tt := float64(k)
+			v := base +
+				2*math.Sin(2*math.Pi*tt/float64(t)+ph) +
+				0.8*math.Sin(2*math.Pi*tt/64) +
+				0.3*rng.NormFloat64()
+			s.Set(i, k, v)
+		}
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries(2, 3)
+	s.Set(1, 2, 7)
+	if s.At(1, 2) != 7 || s.Sensors() != 2 || s.Steps() != 3 {
+		t.Fatal("basic accessors broken")
+	}
+	rows, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.At(1, 0) != 3 {
+		t.Fatal("FromRows wrong")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	sl := rows.Slice(1, 2)
+	if sl.Steps() != 1 || sl.At(0, 0) != 2 {
+		t.Fatal("Slice wrong")
+	}
+	app := rows.Append(rows)
+	if app.Steps() != 4 {
+		t.Fatal("Append wrong")
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	s := syntheticTemps(1, 5, 20, nil)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Sub(s).FrobNorm(); d != 0 {
+		t.Fatalf("round trip deviates by %g", d)
+	}
+}
+
+func TestAnalyzerEndToEnd(t *testing.T) {
+	hot := []int{3, 17}
+	s := syntheticTemps(2, 24, 768, hot)
+	a := New(Options{DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true})
+	if err := a.InitialFit(s.Slice(0, 512)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.PartialFit(s.Slice(512, 768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NewColumns != 256 {
+		t.Fatalf("NewColumns = %d", stats.NewColumns)
+	}
+	if a.Steps() != 768 || a.Updates() != 1 {
+		t.Fatalf("Steps=%d Updates=%d", a.Steps(), a.Updates())
+	}
+
+	// Reconstruction quality.
+	recon := a.Reconstruction()
+	if recon.Sensors() != 24 || recon.Steps() != 768 {
+		t.Fatal("reconstruction shape wrong")
+	}
+	rel := a.ReconstructionError() / s.FrobNorm()
+	if rel > 0.05 {
+		t.Fatalf("relative reconstruction error %g", rel)
+	}
+
+	// Spectrum sanity.
+	spec := a.Spectrum()
+	if len(spec) == 0 || a.NumModes() != len(spec) {
+		t.Fatal("spectrum empty or inconsistent")
+	}
+	for _, p := range spec {
+		if p.Freq < 0 || p.Power < 0 {
+			t.Fatal("negative spectrum quantities")
+		}
+	}
+	if a.Levels() < 3 {
+		t.Fatalf("Levels = %d", a.Levels())
+	}
+
+	// Z-scores flag the hot sensors.
+	base := BaselineByMeanRange(s, 46, 57)
+	if len(base) < 15 {
+		t.Fatalf("baseline too small: %d", len(base))
+	}
+	z, err := a.ZScores(base, 0, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hot {
+		if z[h] < 1 {
+			t.Fatalf("hot sensor %d has z=%g, want clearly elevated", h, z[h])
+		}
+	}
+	if ClassifyZ(0) != "near-baseline" || ClassifyZ(3) != "hot" {
+		t.Fatal("ClassifyZ bands wrong")
+	}
+	if len(a.DriftLog()) != 1 {
+		t.Fatal("drift log missing")
+	}
+}
+
+func TestAnalyzerDriftRecompute(t *testing.T) {
+	s := syntheticTemps(3, 8, 512, nil)
+	a := New(Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true,
+		DriftThreshold: 1e-9, AsyncRecompute: true})
+	if err := a.InitialFit(s.Slice(0, 256)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.PartialFit(s.Slice(256, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Wait()
+	if !stats.Recomputed {
+		t.Fatal("tiny threshold should force recompute")
+	}
+}
+
+func TestRackViewFromAnalyzer(t *testing.T) {
+	s := syntheticTemps(4, 64, 256, []int{5})
+	a := New(Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
+	if err := a.InitialFit(s); err != nil {
+		t.Fatal(err)
+	}
+	base := BaselineByMeanRange(s, 46, 57)
+	z, err := a.ZScores(base, 0, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// 64 nodes: 1 row × 4 racks × 4 cabinets × 4 slots.
+	err = RackView(&buf, "mini 1 1 row0-0:0-3 2 c:0-3 1 s:0-3 b:0 n:0",
+		"unit-test rack", z, []int{5}, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "unit-test rack") {
+		t.Fatal("rack view SVG malformed")
+	}
+}
+
+func TestRackViewBadSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RackView(&buf, "not a spec :::", "t", nil, nil, nil); err == nil {
+		t.Fatal("bad layout spec accepted")
+	}
+}

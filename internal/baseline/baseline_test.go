@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"imrdmd/internal/mat"
+)
+
+func TestSelectByMeanRange(t *testing.T) {
+	data := mat.NewDense(3, 4)
+	for j := 0; j < 4; j++ {
+		data.Set(0, j, 50) // mean 50: in range
+		data.Set(1, j, 80) // mean 80: out
+		data.Set(2, j, 46) // mean 46: boundary, inclusive
+	}
+	got := SelectByMeanRange(data, 46, 57)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("SelectByMeanRange = %v want [0 2]", got)
+	}
+}
+
+func TestZScoresStandardizeBaseline(t *testing.T) {
+	mag := []float64{1, 2, 3, 10}
+	idx := []int{0, 1, 2}
+	z, err := ZScores(mag, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline population must standardize to mean 0.
+	var mu float64
+	for _, i := range idx {
+		mu += z[i]
+	}
+	if math.Abs(mu) > 1e-12 {
+		t.Fatalf("baseline z mean = %g want 0", mu)
+	}
+	if z[3] <= 2 {
+		t.Fatalf("outlier z = %g should exceed 2", z[3])
+	}
+}
+
+func TestZScoresProperty(t *testing.T) {
+	// Affine transformation of magnitudes leaves z-scores unchanged.
+	f := func(scale, shift float64) bool {
+		s := math.Abs(scale)
+		if s < 1e-3 || s > 1e3 || math.Abs(shift) > 1e6 || math.IsNaN(shift) {
+			return true // skip degenerate draws
+		}
+		mag := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+		idx := []int{0, 1, 2, 3, 4}
+		z1, err1 := ZScores(mag, idx)
+		scaled := make([]float64, len(mag))
+		for i, v := range mag {
+			scaled[i] = s*v + shift
+		}
+		z2, err2 := ZScores(scaled, idx)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range z1 {
+			if math.Abs(z1[i]-z2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZScoresErrors(t *testing.T) {
+	if _, err := ZScores([]float64{1, 2}, []int{0}); err != ErrNoBaseline {
+		t.Fatal("single-element baseline must fail")
+	}
+	if _, err := ZScores([]float64{5, 5, 5}, []int{0, 1, 2}); err != ErrNoBaseline {
+		t.Fatal("zero-variance baseline must fail")
+	}
+}
+
+func TestClassifyBands(t *testing.T) {
+	cases := []struct {
+		z    float64
+		want Class
+	}{
+		{-3, Cold}, {-1.6, Cold}, {-1.5, Near}, {0, Near}, {1.5, Near},
+		{1.7, Warm}, {2.0, Warm}, {2.1, Hot}, {5, Hot},
+	}
+	for _, c := range cases {
+		if got := Classify(c.z); got != c.want {
+			t.Errorf("Classify(%g) = %v want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for _, c := range []Class{Cold, Near, Warm, Hot} {
+		if c.String() == "unknown" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	z := []float64{-2, 0, 1, 3}
+	s := Summarize(z)
+	if s.NumCold != 1 || s.NumNear != 2 || s.NumHot != 1 {
+		t.Fatalf("band counts wrong: %+v", s)
+	}
+	if s.Min != -2 || s.Max != 3 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-0.5) > 1e-12 {
+		t.Fatalf("mean = %g want 0.5", s.Mean)
+	}
+	if e := Summarize(nil); e.NumCold != 0 || e.Mean != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestSeparationGap(t *testing.T) {
+	z := []float64{0.1, -0.2, 0.3, 5, 6, 7}
+	normal := []int{0, 1, 2}
+	anomalous := []int{3, 4, 5}
+	if g := SeparationGap(z, normal, anomalous); g <= 0 {
+		t.Fatalf("well-separated populations give gap %g, want > 0", g)
+	}
+	mixed := []float64{1, 1, 1, 1, 1, 1}
+	if g := SeparationGap(mixed, normal, anomalous); g > 0 {
+		t.Fatalf("identical populations give gap %g, want ≤ 0", g)
+	}
+	if g := SeparationGap(z, nil, anomalous); g != 0 {
+		t.Fatal("empty set should give 0")
+	}
+}

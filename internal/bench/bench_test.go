@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadShapes(t *testing.T) {
+	sc := SCLogData(32, 200, 1)
+	if sc.R != 32 || sc.C != 200 {
+		t.Fatalf("SCLogData shape %dx%d", sc.R, sc.C)
+	}
+	gpu := GPUData(32, 200, 1)
+	if gpu.R != 32 || gpu.C != 200 {
+		t.Fatalf("GPUData shape %dx%d", gpu.R, gpu.C)
+	}
+	if sc.HasNaN() || gpu.HasNaN() {
+		t.Fatal("workload data contains NaN")
+	}
+	// Determinism.
+	sc2 := SCLogData(32, 200, 1)
+	for i := range sc.Data {
+		if sc.Data[i] != sc2.Data[i] {
+			t.Fatal("SCLogData not deterministic")
+		}
+	}
+}
+
+func TestGPUWorkloadFasterDynamics(t *testing.T) {
+	// The GPU profile must carry more high-frequency energy (the paper's
+	// "more modes on GPU metrics" mechanism): compare lag-1 differences.
+	sc := SCLogData(16, 400, 2)
+	gpu := GPUData(16, 400, 2)
+	diffEnergy := func(m interface{ Row(int) []float64 }, rows int) float64 {
+		var s float64
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			for k := 1; k < len(row); k++ {
+				d := row[k] - row[k-1]
+				s += d * d
+			}
+		}
+		return s
+	}
+	if diffEnergy(gpu, 16) <= diffEnergy(sc, 16) {
+		t.Fatal("GPU workload should have more fast-band energy than SC Log")
+	}
+}
+
+func TestTableFormatter(t *testing.T) {
+	out := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[0], "bb") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestRunTable1Small(t *testing.T) {
+	rows, err := RunTable1(Table1Config{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d want 8 (2 datasets × 4 sizes)", len(rows))
+	}
+	for _, r := range rows {
+		if r.InitialFit <= 0 || r.PartialFit <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+		if r.Modes <= 0 {
+			t.Fatalf("no modes extracted: %+v", r)
+		}
+	}
+	if s := FormatTable1(rows); !strings.Contains(s, "SC Log") || !strings.Contains(s, "GPU Metrics") {
+		t.Fatal("formatted table missing datasets")
+	}
+}
+
+func TestCheckTable1ShapeDetectsViolations(t *testing.T) {
+	good := []Table1Row{
+		{Dataset: "X", T: 100, InitialFit: 1, PartialFit: 0.5},
+		{Dataset: "X", T: 200, InitialFit: 2, PartialFit: 0.6},
+	}
+	if err := CheckTable1Shape(good); err != nil {
+		t.Fatalf("good shape rejected: %v", err)
+	}
+	flatInitial := []Table1Row{
+		{Dataset: "X", T: 100, InitialFit: 2, PartialFit: 0.5},
+		{Dataset: "X", T: 200, InitialFit: 1, PartialFit: 0.5},
+	}
+	if err := CheckTable1Shape(flatInitial); err == nil {
+		t.Fatal("shrinking initial fit accepted")
+	}
+	slowPartial := []Table1Row{
+		{Dataset: "X", T: 100, InitialFit: 1, PartialFit: 0.5},
+		{Dataset: "X", T: 200, InitialFit: 2, PartialFit: 3},
+	}
+	if err := CheckTable1Shape(slowPartial); err == nil {
+		t.Fatal("partial above initial accepted")
+	}
+}
+
+func TestRunUpdateTimingSmall(t *testing.T) {
+	res, err := RunUpdateTiming("env", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental <= 0 || res.Refit <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	if _, err := RunUpdateTiming("bogus", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunCaseStudy1Artifacts(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunCaseStudy1(64, 256, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrobError <= 0 || res.RelError <= 0 || res.RelError > 0.5 {
+		t.Fatalf("implausible error: %+v", res)
+	}
+	for _, p := range res.Artifacts {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty", p)
+		}
+	}
+	// The paper's observation: memory-error nodes sit near/below baseline.
+	if res.MemErrNearOrCold == 0 {
+		t.Fatal("no memory-error node classified near/below baseline")
+	}
+}
+
+func TestRunCaseStudy2Artifacts(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunCaseStudy2(96, 192, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HotWindowMeanLevel <= res.CoolWindowMeanLevel {
+		t.Fatalf("hot window %.1f not above cool %.1f",
+			res.HotWindowMeanLevel, res.CoolWindowMeanLevel)
+	}
+	if len(res.Persistent) == 0 {
+		t.Fatal("persistent hardware-error node not found")
+	}
+	svgs := 0
+	for _, p := range res.Artifacts {
+		if filepath.Ext(p) == ".svg" {
+			svgs++
+		}
+	}
+	if svgs != 3 {
+		t.Fatalf("expected 3 SVGs (fig6a, fig6b, fig7), got %d", svgs)
+	}
+}
+
+func TestRunFig8Separation(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunFig8(400, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 7 {
+		t.Fatalf("methods = %v want 7", res.Methods)
+	}
+	// mrDMD-family z-scores must separate the populations.
+	if res.Separation["mrDMD"] <= 0 {
+		t.Fatalf("mrDMD separation %+.3f not positive", res.Separation["mrDMD"])
+	}
+	if res.Separation["I-mrDMD"] <= 0 {
+		t.Fatalf("I-mrDMD separation %+.3f not positive", res.Separation["I-mrDMD"])
+	}
+	if s := FormatFig8(res); !strings.Contains(s, "I-mrDMD") {
+		t.Fatal("formatted fig8 output incomplete")
+	}
+}
+
+func TestRunFig9SmallShape(t *testing.T) {
+	rows, err := RunFig9(Fig9Config{Scale: 0.02, Seed: 1, SkipUMAP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 methods (PCA, IPCA, mrDMD, I-mrDMD) × 6 sizes.
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d want 24", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Method] = true
+		if r.InitialFit <= 0 {
+			t.Fatalf("bad timing %+v", r)
+		}
+	}
+	for _, m := range []string{"PCA", "IPCA", "mrDMD", "I-mrDMD"} {
+		if !seen[m] {
+			t.Fatalf("method %s missing", m)
+		}
+	}
+	if s := FormatFig9(rows); !strings.Contains(s, "I-mrDMD") {
+		t.Fatal("formatted fig9 incomplete")
+	}
+	dir := t.TempDir()
+	if _, err := WriteFig9Plot(rows, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQ2SmallAndCheck(t *testing.T) {
+	res, err := RunQ2(48, 768, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckQ2Shape(res); err != nil {
+		t.Fatalf("Q2 shape: %v (result %+v)", err, res)
+	}
+	if math.IsNaN(res.DriftTotal) {
+		t.Fatal("drift not recorded")
+	}
+	if s := FormatQ2(res); !strings.Contains(s, "recompute") {
+		t.Fatal("formatted Q2 incomplete")
+	}
+}
+
+func TestCheckFig9ShapeDetectsViolation(t *testing.T) {
+	rows := []Fig9Row{
+		{Method: "mrDMD", T: 1000, InitialFit: 1},
+		{Method: "I-mrDMD", T: 1000, InitialFit: 1, PartialFit: 2},
+	}
+	if err := CheckFig9Shape(rows); err == nil {
+		t.Fatal("slow partial fit accepted")
+	}
+	good := []Fig9Row{
+		{Method: "mrDMD", T: 1000, InitialFit: 1},
+		{Method: "I-mrDMD", T: 1000, InitialFit: 1, PartialFit: 0.2},
+	}
+	if err := CheckFig9Shape(good); err != nil {
+		t.Fatalf("good shape rejected: %v", err)
+	}
+}

@@ -1,0 +1,409 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"imrdmd/internal/baseline"
+	"imrdmd/internal/core"
+	"imrdmd/internal/hwlog"
+	"imrdmd/internal/joblog"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/rack"
+	"imrdmd/internal/telemetry"
+	"imrdmd/internal/viz"
+)
+
+// CaseStudy1Result carries the quantities the paper reports in §V-A:
+// initial and incremental timings, the Frobenius reconstruction error
+// (paper: 3958.58 on 871×2000), z-score statistics, and where the
+// artifacts were written.
+type CaseStudy1Result struct {
+	Nodes, Steps     int
+	InitialSecs      float64
+	UpdateSecs       float64
+	FrobError        float64
+	RelError         float64
+	ZSummary         baseline.Summary
+	MemErrNodes      []int
+	MemErrNearOrCold int // paper: mem-error nodes sit near/below baseline
+	Artifacts        []string
+}
+
+// caseStudy1Setup builds the 2-project workload of §V-A with ground-truth
+// anomalies: persistent hot nodes, a stalled node, memory-error nodes.
+func caseStudy1Setup(nodes, steps int, seed int64) (*telemetry.Generator, *joblog.Schedule, *hwlog.Log, []int, []int) {
+	prof := telemetry.ThetaEnv()
+	horizon := float64(steps) * prof.SampleInterval
+	sched := joblog.Simulate(joblog.SimConfig{
+		NumNodes: nodes, Horizon: horizon, Seed: seed,
+		MeanInterarrival: horizon / 50, MeanDuration: horizon / 4,
+		Projects: []joblog.ProjectMix{
+			{Name: "ProjectA", Weight: 1, MeanSize: nodes / 6, MaxSize: nodes / 2},
+			{Name: "ProjectB", Weight: 1, MeanSize: nodes / 10, MaxSize: nodes / 3},
+		},
+	})
+	gen := telemetry.NewGenerator(prof, nodes, seed)
+	gen.Schedule = sched
+	hotNodes := []int{17 % nodes, 93 % nodes}
+	gen.Anomalies = []telemetry.Anomaly{
+		{Kind: telemetry.HotNode, Node: hotNodes[0], Start: 0, End: horizon, Magnitude: 14},
+		{Kind: telemetry.HotNode, Node: hotNodes[1], Start: horizon / 3, End: horizon, Magnitude: 11},
+		{Kind: telemetry.StalledNode, Node: 41 % nodes, Start: horizon / 2, End: horizon},
+	}
+	memErr := []int{5 % nodes, 123 % nodes}
+	hl := hwlog.Generate(hwlog.GenConfig{
+		NumNodes: nodes, Horizon: horizon, Seed: seed, BackgroundRate: 0.02,
+		Bursts: []hwlog.Burst{
+			{Node: memErr[0], Cat: hwlog.MemCorrectable, Start: 0, End: horizon, Count: 18},
+			{Node: memErr[1], Cat: hwlog.MemCorrectable, Start: horizon / 4, End: horizon, Count: 9},
+		},
+	})
+	return gen, sched, hl, hotNodes, memErr
+}
+
+// RunCaseStudy1 regenerates Figs. 3, 4 and 5 (E4–E6). nodes/steps default
+// to the paper's 871×2000 when ≤0.
+func RunCaseStudy1(nodes, steps int, seed int64, outDir string) (*CaseStudy1Result, error) {
+	if nodes <= 0 {
+		nodes = 871
+	}
+	if steps <= 0 {
+		steps = 2000
+	}
+	gen, _, hl, _, memErr := caseStudy1Setup(nodes, steps, seed)
+	prof := gen.Profile
+	data := gen.Matrix(0, steps)
+
+	// 1,000 + 1,000 streaming, 6 levels — §V-A's configuration.
+	opts := scOpts(6)
+	inc := core.NewIncremental(opts)
+	half := steps / 2
+	initSecs, err := timeIt(func() error { return inc.InitialFit(data.ColSlice(0, half)) })
+	if err != nil {
+		return nil, err
+	}
+	updSecs, err := timeIt(func() error {
+		_, err := inc.PartialFit(data.ColSlice(half, steps))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CaseStudy1Result{
+		Nodes: nodes, Steps: steps,
+		InitialSecs: initSecs, UpdateSecs: updSecs,
+		MemErrNodes: memErr,
+	}
+	res.FrobError = inc.ReconError()
+	res.RelError = res.FrobError / data.FrobNorm()
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// Fig. 3: actual vs reconstruction for a handful of nodes.
+	recon := inc.Reconstruct()
+	fig3 := filepath.Join(outDir, "fig3_reconstruction.svg")
+	if err := writeFig3(fig3, data, recon, prof.SampleInterval); err != nil {
+		return nil, err
+	}
+	res.Artifacts = append(res.Artifacts, fig3)
+	fig3csv := filepath.Join(outDir, "fig3_reconstruction.csv")
+	if err := writeFig3CSV(fig3csv, data, recon); err != nil {
+		return nil, err
+	}
+	res.Artifacts = append(res.Artifacts, fig3csv)
+
+	// Z-scores for Fig. 4 (baseline band per §V-A, widened to include
+	// busy-normal nodes for this profile's job heat).
+	tree := inc.Tree()
+	levels := tree.ReadingLevels(core.FullBand())
+	baseIdx := baseline.SelectByMeanRange(data, 46, 68)
+	z, err := baseline.ZScores(levels, baseIdx)
+	if err != nil {
+		return nil, err
+	}
+	res.ZSummary = baseline.Summarize(z)
+	horizon := float64(steps) * prof.SampleInterval
+	memErrSeen := hl.NodesWith(hwlog.MemCorrectable, 5, 0, horizon)
+	for _, n := range memErrSeen {
+		if c := baseline.Classify(z[n]); c == baseline.Near || c == baseline.Cold {
+			res.MemErrNearOrCold++
+		}
+	}
+
+	// Fig. 4: rack view with memory-error outlines.
+	layout := caseStudyLayout(nodes)
+	fig4 := filepath.Join(outDir, "fig4_rackview.svg")
+	f, err := os.Create(fig4)
+	if err != nil {
+		return nil, err
+	}
+	outline := map[int]bool{}
+	for _, n := range memErrSeen {
+		outline[n] = true
+	}
+	err = viz.RenderRackView(f, layout, padValues(z, layout.TotalNodes()), viz.RackViewConfig{
+		Title: "Case study 1: z-scores, memory-error nodes outlined", ZMax: 5, Highlighted: outline,
+	})
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Artifacts = append(res.Artifacts, fig4)
+
+	// Fig. 5: mrDMD spectrum, 0–60 Hz band in paper units.
+	fig5 := filepath.Join(outDir, "fig5_spectrum.svg")
+	if err := writeSpectrum(fig5, "Case study 1: I-mrDMD spectrum",
+		[]spectrumSeries{{name: "case 1", color: "#1f77b4", tree: tree}}); err != nil {
+		return nil, err
+	}
+	res.Artifacts = append(res.Artifacts, fig5)
+	return res, nil
+}
+
+// caseStudyLayout picks an XC40-flavored layout that holds `nodes` nodes:
+// racks of 64 (4 cabinets × 16 slots).
+func caseStudyLayout(nodes int) *rack.Layout {
+	racks := (nodes + 63) / 64
+	rows := 1
+	if racks > 12 {
+		rows = 2
+		racks = (racks + 1) / 2
+	}
+	spec := fmt.Sprintf("xc40 1 2 row0-%d:0-%d 2 c:0-3 1 s:0-15 b:0 n:0", rows-1, racks-1)
+	l, err := rack.Parse(spec)
+	if err != nil {
+		panic("bench: generated layout invalid: " + err.Error())
+	}
+	return l
+}
+
+// padValues extends z with NaNs so unpopulated layout slots render gray.
+func padValues(z []float64, total int) []float64 {
+	if len(z) >= total {
+		return z[:total]
+	}
+	out := make([]float64, total)
+	copy(out, z)
+	for i := len(z); i < total; i++ {
+		out[i] = math.NaN()
+	}
+	return out
+}
+
+func writeFig3(path string, data, recon *mat.Dense, dt float64) error {
+	const show = 3 // sensors plotted
+	var series []viz.Series
+	t := data.C
+	xs := make([]float64, t)
+	for k := range xs {
+		xs[k] = float64(k)
+	}
+	for i := 0; i < show && i < data.R; i++ {
+		sensor := i * (data.R / show)
+		series = append(series,
+			viz.Series{Name: fmt.Sprintf("node %d actual", sensor), X: xs, Y: data.Row(sensor), Color: "#bbbbbb"},
+			viz.Series{Name: fmt.Sprintf("node %d I-mrDMD", sensor), X: xs, Y: recon.Row(sensor)},
+		)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return viz.RenderPlot(f, viz.PlotConfig{
+		Title:  "Actual vs I-mrDMD reconstruction (Fig. 3)",
+		XLabel: "time step", YLabel: "temperature (°C)", W: 900, H: 420,
+	}, series...)
+}
+
+func writeFig3CSV(path string, data, recon *mat.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	buf.WriteString("step,actual_node0,recon_node0\n")
+	for k := 0; k < data.C; k++ {
+		fmt.Fprintf(&buf, "%d,%.4f,%.4f\n", k, data.At(0, k), recon.At(0, k))
+	}
+	_, err = f.Write(buf.Bytes())
+	return err
+}
+
+type spectrumSeries struct {
+	name  string
+	color string
+	tree  *core.Tree
+}
+
+// writeSpectrum renders mode amplitude vs frequency (Eq. 9/10, Figs. 5/7).
+func writeSpectrum(path, title string, series []spectrumSeries) error {
+	var plotted []viz.Series
+	for _, s := range series {
+		pts := s.tree.Spectrum()
+		xs := make([]float64, 0, len(pts))
+		ys := make([]float64, 0, len(pts))
+		for _, p := range pts {
+			xs = append(xs, p.Freq*1000) // mHz: our Δt=20 s puts modes in the mHz range
+			ys = append(ys, p.Amp)
+		}
+		plotted = append(plotted, viz.Series{Name: s.name, X: xs, Y: ys, Color: s.color, Points: true})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return viz.RenderPlot(f, viz.PlotConfig{
+		Title: title, XLabel: "frequency (mHz)", YLabel: "I-mrDMD mode amplitude", W: 720, H: 420,
+	}, plotted...)
+}
+
+// CaseStudy2Result carries §V-B's quantities: per-window reconstruction
+// errors (paper: 3423.85), per-window baselines, the spectrum comparison,
+// and the persistent hardware-error nodes.
+type CaseStudy2Result struct {
+	Nodes, StepsPerWindow int
+	FrobError             [2]float64
+	ZSummary              [2]baseline.Summary
+	HotWindowMeanLevel    float64
+	CoolWindowMeanLevel   float64
+	Persistent            []int
+	Artifacts             []string
+}
+
+// RunCaseStudy2 regenerates Figs. 6 and 7 (E7–E8): a hot busy window and
+// a cooler quiet window, each z-scored against its own baseline band.
+func RunCaseStudy2(nodes, stepsPerWindow int, seed int64, outDir string) (*CaseStudy2Result, error) {
+	if nodes <= 0 {
+		nodes = 512
+	}
+	if stepsPerWindow <= 0 {
+		stepsPerWindow = 1440
+	}
+	prof := telemetry.ThetaEnv()
+	total := 2 * stepsPerWindow
+	horizon := float64(total) * prof.SampleInterval
+
+	busy := joblog.Simulate(joblog.SimConfig{
+		NumNodes: nodes, Horizon: horizon / 2, Seed: seed,
+		MeanInterarrival: horizon / 400, MeanDuration: horizon / 6,
+	})
+	quiet := joblog.Simulate(joblog.SimConfig{
+		NumNodes: nodes, Horizon: horizon / 2, Seed: seed + 1,
+		MeanInterarrival: horizon / 30, MeanDuration: horizon / 12,
+	})
+	for _, j := range quiet.Jobs {
+		j.Start += horizon / 2
+		j.End += horizon / 2
+		j.ID += 100000
+		busy.Jobs = append(busy.Jobs, j)
+	}
+	busy.Horizon = horizon
+
+	gen := telemetry.NewGenerator(prof, nodes, seed)
+	gen.Schedule = busy
+	persistent := 77 % nodes
+	hl := hwlog.Generate(hwlog.GenConfig{
+		NumNodes: nodes, Horizon: horizon, Seed: seed, BackgroundRate: 0.05,
+		Bursts: []hwlog.Burst{
+			{Node: persistent, Cat: hwlog.MachineCheck, Start: 0, End: horizon, Count: 24},
+			{Node: (persistent + 50) % nodes, Cat: hwlog.MachineCheck, Start: 0, End: horizon / 2, Count: 8},
+		},
+	})
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	data := gen.Matrix(0, total)
+	res := &CaseStudy2Result{Nodes: nodes, StepsPerWindow: stepsPerWindow}
+	layout := caseStudyLayout(nodes)
+	var spectra []spectrumSeries
+	for w := 0; w < 2; w++ {
+		lo, hi := w*stepsPerWindow, (w+1)*stepsPerWindow
+		win := data.ColSlice(lo, hi)
+		opts := scOpts(7)
+		inc := core.NewIncremental(opts)
+		first := stepsPerWindow * 3 / 4
+		if err := inc.InitialFit(win.ColSlice(0, first)); err != nil {
+			return nil, err
+		}
+		if _, err := inc.PartialFit(win.ColSlice(first, stepsPerWindow)); err != nil {
+			return nil, err
+		}
+		res.FrobError[w] = inc.ReconError()
+
+		tree := inc.Tree()
+		levels := tree.ReadingLevels(core.FullBand())
+		meanLevel := 0.0
+		for _, v := range levels {
+			meanLevel += v
+		}
+		meanLevel /= float64(len(levels))
+		// Per-window baseline bands (§V-B: hotter for the busy window).
+		bandLo, bandHi := 45.0, 68.0
+		title := "window 1 (hot): baselines 45–68 °C"
+		color := "#d62728"
+		if w == 1 {
+			bandLo, bandHi = 40.0, 55.0
+			title = "window 2 (cool): baselines 40–55 °C"
+			color = "#1f77b4"
+			res.CoolWindowMeanLevel = meanLevel
+		} else {
+			res.HotWindowMeanLevel = meanLevel
+		}
+		baseIdx := baseline.SelectByMeanRange(win, bandLo, bandHi)
+		z, err := baseline.ZScores(levels, baseIdx)
+		if err != nil {
+			return nil, err
+		}
+		res.ZSummary[w] = baseline.Summarize(z)
+
+		errNodes := hl.NodesWith(hwlog.MachineCheck, 4,
+			float64(lo)*prof.SampleInterval, float64(hi)*prof.SampleInterval)
+		outline := map[int]bool{}
+		for _, n := range errNodes {
+			outline[n] = true
+		}
+		fig6 := filepath.Join(outDir, fmt.Sprintf("fig6%c_rackview.svg", 'a'+w))
+		f, err := os.Create(fig6)
+		if err != nil {
+			return nil, err
+		}
+		err = viz.RenderRackView(f, layout, padValues(z, layout.TotalNodes()), viz.RackViewConfig{
+			Title: "Case study 2, " + title, ZMax: 5, Outlined: outline,
+		})
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Artifacts = append(res.Artifacts, fig6)
+		spectra = append(spectra, spectrumSeries{name: title, color: color, tree: tree})
+	}
+
+	w1 := hl.NodesWith(hwlog.MachineCheck, 4, 0, horizon/2)
+	w2 := hl.NodesWith(hwlog.MachineCheck, 4, horizon/2, horizon)
+	set := map[int]bool{}
+	for _, n := range w1 {
+		set[n] = true
+	}
+	for _, n := range w2 {
+		if set[n] {
+			res.Persistent = append(res.Persistent, n)
+		}
+	}
+
+	fig7 := filepath.Join(outDir, "fig7_spectrum.svg")
+	if err := writeSpectrum(fig7, "Case study 2: hot vs cool spectra (Fig. 7)", spectra); err != nil {
+		return nil, err
+	}
+	res.Artifacts = append(res.Artifacts, fig7)
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"imrdmd/internal/core"
+)
+
+// CompressionRow measures the mode-storage footprint of the decomposition
+// against the raw data at one level count — quantifying the paper's
+// "reduce the data size from terabytes to megabytes" claim (§I) and its
+// future-work item of evaluating compression savings (§VI).
+type CompressionRow struct {
+	Levels    int
+	Modes     int
+	RawBytes  int
+	ModeBytes int
+	Ratio     float64
+	RelError  float64
+}
+
+// RunCompression sweeps tree depth on the environment-log workload: more
+// levels keep more modes, trading compression for reconstruction error.
+func RunCompression(p, t int, seed int64) ([]CompressionRow, error) {
+	if p <= 0 {
+		p = 256
+	}
+	if t <= 0 {
+		t = 4096
+	}
+	data := SCLogData(p, t, seed)
+	norm := data.FrobNorm()
+	var rows []CompressionRow
+	for _, levels := range []int{2, 4, 6, 8} {
+		opts := scOpts(levels)
+		tree, err := core.Decompose(data, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CompressionRow{
+			Levels:    levels,
+			Modes:     tree.NumModes(),
+			RawBytes:  p * t * 8,
+			ModeBytes: tree.StorageBytes(),
+			Ratio:     tree.CompressionRatio(),
+			RelError:  tree.ReconError(data) / norm,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCompression renders the sweep.
+func FormatCompression(rows []CompressionRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Levels), fmt.Sprint(r.Modes),
+			fmt.Sprintf("%.1f MB", float64(r.RawBytes)/1e6),
+			fmt.Sprintf("%.2f MB", float64(r.ModeBytes)/1e6),
+			fmt.Sprintf("%.1f×", r.Ratio),
+			fmt.Sprintf("%.2f%%", 100*r.RelError),
+		})
+	}
+	return Table([]string{"Levels", "Modes", "Raw", "Modes stored", "Compression", "Rel. error"}, cells)
+}
+
+// CheckCompressionShape verifies the claim's shape: the decomposition is
+// smaller than the data, and depth trades compression for accuracy
+// monotonically at the sweep's endpoints.
+func CheckCompressionShape(rows []CompressionRow) error {
+	if len(rows) < 2 {
+		return nil
+	}
+	for _, r := range rows {
+		if r.Ratio <= 1 {
+			return fmt.Errorf("levels=%d: no compression (ratio %.2f)", r.Levels, r.Ratio)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Ratio > first.Ratio {
+		return fmt.Errorf("deeper tree compresses better (%.1f× at %d levels vs %.1f× at %d)",
+			last.Ratio, last.Levels, first.Ratio, first.Levels)
+	}
+	if last.RelError > first.RelError {
+		return fmt.Errorf("deeper tree reconstructs worse (%.2f%% vs %.2f%%)",
+			100*last.RelError, 100*first.RelError)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"imrdmd/internal/core"
+	"imrdmd/internal/embed"
+	"imrdmd/internal/viz"
+)
+
+// Fig9Row is one (method, size) measurement of the scaling comparison:
+// InitialFit is the batch/initial cost at P×T, PartialFit the cost of
+// absorbing the next 1,000-point (scaled) block for methods that support
+// it (NaN otherwise).
+type Fig9Row struct {
+	Method     string
+	P, T       int
+	InitialFit float64
+	PartialFit float64
+}
+
+// Fig9Config scales the experiment. The paper uses P=1,000 and
+// T ∈ {1k, 2k, 5k, 10k, 20k, 30k} with 1,000-point partial fits,
+// I-mrDMD at max_levels=4, max_cycles=2, do_svht=True.
+type Fig9Config struct {
+	Scale float64
+	Seed  int64
+	// SkipUMAP skips the O(P²·T) kNN methods (for quick runs).
+	SkipUMAP bool
+	// WithTSNE adds t-SNE (excluded from the paper's figure, reported in
+	// its prose).
+	WithTSNE bool
+}
+
+// RunFig9 regenerates the Fig. 9 completion-time comparison (E10).
+func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	p := scaled(1000, cfg.Scale)
+	block := scaled(1000, cfg.Scale)
+	sizes := []int{1000, 2000, 5000, 10000, 20000, 30000}
+	var rows []Fig9Row
+
+	// One dataset at the largest size serves every measurement.
+	maxT := scaled(30000, cfg.Scale) + block
+	data := SCLogData(p, maxT, cfg.Seed)
+
+	for _, t0 := range sizes {
+		t := scaled(t0, cfg.Scale)
+		x := data.ColSlice(0, t)
+		nxt := data.ColSlice(t, t+block)
+
+		// PCA: batch only.
+		pcaSecs, err := timeIt(func() error {
+			_, err := (&embed.PCA{Components: 2}).FitTransform(x)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 PCA T=%d: %w", t, err)
+		}
+		rows = append(rows, Fig9Row{"PCA", p, t, pcaSecs, math.NaN()})
+
+		// IPCA: initial fit = chunked batches; partial fit = one block.
+		// Orientation: samples = time points (the natural streaming axis
+		// for IncrementalPCA), i.e. the transpose of the sensor matrix.
+		ip := &embed.IPCA{Components: 2, BatchSize: 10 * block}
+		xt := x.T()
+		ipcaInit, err := timeIt(func() error { return ip.PartialFit(xt) })
+		if err != nil {
+			return nil, err
+		}
+		nt := nxt.T()
+		ipcaPart, err := timeIt(func() error { return ip.PartialFit(nt) })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{"IPCA", p, t, ipcaInit, ipcaPart})
+
+		if !cfg.SkipUMAP {
+			umapSecs, err := timeIt(func() error {
+				_, err := (&embed.UMAP{NNeighbors: 15, Epochs: 100, Seed: cfg.Seed}).FitTransform(x)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig9Row{"UMAP", p, t, umapSecs, math.NaN()})
+
+			au := &embed.AlignedUMAP{Base: embed.UMAP{NNeighbors: 15, Epochs: 100, Seed: cfg.Seed}}
+			auInit, err := timeIt(func() error {
+				_, err := au.InitialFit(x)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Aligned-UMAP's partial fit embeds the newest window of the
+			// same width as the update block.
+			win := data.ColSlice(t+block-minInt(t, block), t+block)
+			auPart, err := timeIt(func() error {
+				_, err := au.PartialFit(win)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig9Row{"Aligned-UMAP", p, t, auInit, auPart})
+		}
+
+		if cfg.WithTSNE {
+			tsneSecs, err := timeIt(func() error {
+				_, err := (&embed.TSNE{Perplexity: 30, Iters: 250, Seed: cfg.Seed}).FitTransform(x)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig9Row{"TSNE", p, t, tsneSecs, math.NaN()})
+		}
+
+		// mrDMD: batch refit; I-mrDMD: initial + one partial (the paper's
+		// max_levels=4, max_cycles=2, do_svht=True configuration).
+		opts := core.Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true, Parallel: true}
+		mrSecs, err := timeIt(func() error {
+			_, err := core.Decompose(x, opts)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{"mrDMD", p, t, mrSecs, math.NaN()})
+
+		inc := core.NewIncremental(opts)
+		incInit, err := timeIt(func() error { return inc.InitialFit(x) })
+		if err != nil {
+			return nil, err
+		}
+		incPart, err := timeIt(func() error {
+			_, err := inc.PartialFit(nxt)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{"I-mrDMD", p, t, incInit, incPart})
+	}
+	return rows, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FormatFig9 renders the measurement table.
+func FormatFig9(rows []Fig9Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		part := "-"
+		if !math.IsNaN(r.PartialFit) {
+			part = secs(r.PartialFit)
+		}
+		cells = append(cells, []string{
+			r.Method, fmt.Sprint(r.P), fmt.Sprint(r.T), secs(r.InitialFit), part,
+		})
+	}
+	return Table([]string{"Method", "P", "T", "Initial/Full (s)", "Partial (s)"}, cells)
+}
+
+// CheckFig9Shape asserts the paper's qualitative ordering — I-mrDMD's
+// partial fit beats the mrDMD refit — at every size beyond the smallest
+// (where fixed per-update overhead dominates; the paper's own Table I
+// shows partial > initial at its smallest GPU size too).
+func CheckFig9Shape(rows []Fig9Row) error {
+	type key struct {
+		method string
+		t      int
+	}
+	idx := map[key]Fig9Row{}
+	maxT := 0
+	for _, r := range rows {
+		idx[key{r.Method, r.T}] = r
+		if r.T > maxT {
+			maxT = r.T
+		}
+	}
+	for _, r := range rows {
+		// Below half the sweep, both sides are dominated by fixed
+		// per-call overhead at bench scale; the claim is about the
+		// compute-dominated regime.
+		if r.Method != "I-mrDMD" || r.T < maxT/2 {
+			continue
+		}
+		mr, ok := idx[key{"mrDMD", r.T}]
+		if !ok {
+			continue
+		}
+		if r.PartialFit >= mr.InitialFit {
+			return fmt.Errorf("T=%d: I-mrDMD partial %.3fs not below mrDMD %.3fs",
+				r.T, r.PartialFit, mr.InitialFit)
+		}
+	}
+	// At the largest size the advantage must be decisive (paper: always).
+	inc, okI := idx[key{"I-mrDMD", maxT}]
+	mr, okM := idx[key{"mrDMD", maxT}]
+	if okI && okM && inc.PartialFit >= 0.75*mr.InitialFit {
+		return fmt.Errorf("T=%d: I-mrDMD partial %.3fs not well below mrDMD %.3fs",
+			maxT, inc.PartialFit, mr.InitialFit)
+	}
+	return nil
+}
+
+// WriteFig9Plot renders the scaling curves (log-y, like reading the
+// paper's bar chart as trends).
+func WriteFig9Plot(rows []Fig9Row, outDir string) (string, error) {
+	byMethod := map[string][][2]float64{}
+	var order []string
+	for _, r := range rows {
+		v := r.InitialFit
+		name := r.Method
+		if !math.IsNaN(r.PartialFit) {
+			// Plot partial-fit cost for incremental methods; that is the
+			// quantity Fig. 9 emphasizes.
+			v = r.PartialFit
+			name += " (partial)"
+		}
+		if _, seen := byMethod[name]; !seen {
+			order = append(order, name)
+		}
+		byMethod[name] = append(byMethod[name], [2]float64{float64(r.T), v})
+	}
+	var series []viz.Series
+	for _, name := range order {
+		pts := byMethod[name]
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p[0], p[1]
+		}
+		series = append(series, viz.Series{Name: name, X: xs, Y: ys})
+	}
+	path := filepath.Join(outDir, "fig9_scaling.svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	err = viz.RenderPlot(f, viz.PlotConfig{
+		Title:  "Fig. 9: completion time vs data size",
+		XLabel: "time points", YLabel: "seconds (log)", W: 820, H: 480, LogY: true,
+	}, series...)
+	return path, err
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+)
+
+// Table1Row is one row of the paper's Table I: completion time of the
+// initial fit on N×T data and of the incremental addition of `added`
+// further time points.
+type Table1Row struct {
+	Dataset    string
+	N, T       int
+	Added      int
+	InitialFit float64 // seconds
+	PartialFit float64 // seconds
+	Modes      int
+}
+
+// Table1Config scales the experiment; the paper uses N=1000,
+// T ∈ {2000, 5000, 10000, 16000}, added=1000, 6 levels for SC Log and 7
+// for GPU Metrics.
+type Table1Config struct {
+	Scale float64 // scales N, T and the added block (default 1)
+	Seed  int64
+}
+
+// RunTable1 regenerates Table I (experiment E3 in DESIGN.md).
+func RunTable1(cfg Table1Config) ([]Table1Row, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	n := scaled(1000, cfg.Scale)
+	added := scaled(1000, cfg.Scale)
+	sizes := []int{2000, 5000, 10000, 16000}
+	var rows []Table1Row
+	for _, ds := range []struct {
+		name string
+		opts core.Options
+		gen  func(p, t int, seed int64) *mat.Dense
+	}{
+		{"SC Log", scOpts(6), SCLogData},
+		{"GPU Metrics", gpuOpts(7), GPUData},
+	} {
+		for _, t0 := range sizes {
+			t := scaled(t0, cfg.Scale)
+			data := ds.gen(n, t+added, cfg.Seed)
+			inc := core.NewIncremental(ds.opts)
+			initSecs, err := timeIt(func() error { return inc.InitialFit(data.ColSlice(0, t)) })
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s T=%d initial: %w", ds.name, t, err)
+			}
+			partSecs, err := timeIt(func() error {
+				_, err := inc.PartialFit(data.ColSlice(t, t+added))
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s T=%d partial: %w", ds.name, t, err)
+			}
+			rows = append(rows, Table1Row{
+				Dataset: ds.name, N: n, T: t, Added: added,
+				InitialFit: initSecs, PartialFit: partSecs,
+				Modes: inc.Tree().NumModes(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, fmt.Sprint(r.N), fmt.Sprint(r.T),
+			secs(r.InitialFit), secs(r.PartialFit), fmt.Sprint(r.Modes),
+		})
+	}
+	return Table([]string{"Dataset", "N", "T", "Initial Fit (s)", "Partial Fit (s)", "Modes"}, cells)
+}
+
+// CheckTable1Shape verifies the paper's qualitative claims on the rows:
+// within each dataset the initial fit grows with T while the partial fit
+// stays roughly flat (bounded well below the largest initial fit).
+func CheckTable1Shape(rows []Table1Row) error {
+	byDS := map[string][]Table1Row{}
+	for _, r := range rows {
+		byDS[r.Dataset] = append(byDS[r.Dataset], r)
+	}
+	for ds, rs := range byDS {
+		if len(rs) < 2 {
+			continue
+		}
+		first, last := rs[0], rs[len(rs)-1]
+		if last.InitialFit <= first.InitialFit {
+			return fmt.Errorf("%s: initial fit did not grow with T (%.3fs at T=%d vs %.3fs at T=%d)",
+				ds, first.InitialFit, first.T, last.InitialFit, last.T)
+		}
+		// Partial fit at the largest T must undercut that initial fit.
+		if last.PartialFit >= last.InitialFit {
+			return fmt.Errorf("%s: partial fit %.3fs not below initial fit %.3fs at T=%d",
+				ds, last.PartialFit, last.InitialFit, last.T)
+		}
+		// Flatness: the largest partial fit stays within 4× the smallest
+		// (the paper's SC Log column spans 3.77–4.33 s).
+		minP, maxP := rs[0].PartialFit, rs[0].PartialFit
+		for _, r := range rs {
+			if r.PartialFit < minP {
+				minP = r.PartialFit
+			}
+			if r.PartialFit > maxP {
+				maxP = r.PartialFit
+			}
+		}
+		if minP > 0 && maxP/minP > 4 {
+			return fmt.Errorf("%s: partial fit not flat (%.3f–%.3fs)", ds, minP, maxP)
+		}
+	}
+	return nil
+}
+
+// EnvTimingResult is the §IV streaming-update experiment (E1/E2): the
+// cost of absorbing a new block incrementally vs recomputing everything.
+type EnvTimingResult struct {
+	Dataset     string
+	P, T, Added int
+	Incremental float64 // seconds for the partial fit
+	Refit       float64 // seconds for recomputation over T+added
+	Speedup     float64
+}
+
+// RunUpdateTiming regenerates E1 (dataset "env") or E2 ("gpu"). The paper
+// ran env at 4392×50000+5000 (80.6 s vs 14.7 s) and gpu at
+// 5824×16329+5825 (59.3 s vs 29.9 s); Scale shrinks both dimensions.
+func RunUpdateTiming(dataset string, scale float64, seed int64) (*EnvTimingResult, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	var (
+		p, t, added int
+		opts        core.Options
+		gen         func(p, t int, seed int64) *mat.Dense
+	)
+	switch dataset {
+	case "env":
+		p, t, added = scaled(4392, scale), scaled(50000, scale), scaled(5000, scale)
+		opts = scOpts(8)
+		gen = SCLogData
+	case "gpu":
+		p, t, added = scaled(5824, scale), scaled(16329, scale), scaled(5825, scale)
+		opts = gpuOpts(9)
+		gen = GPUData
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want env or gpu)", dataset)
+	}
+	data := gen(p, t+added, seed)
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, t)); err != nil {
+		return nil, err
+	}
+	incSecs, err := timeIt(func() error {
+		_, err := inc.PartialFit(data.ColSlice(t, t+added))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	refitSecs, err := timeIt(func() error {
+		_, err := core.Decompose(data, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &EnvTimingResult{
+		Dataset: dataset, P: p, T: t, Added: added,
+		Incremental: incSecs, Refit: refitSecs,
+	}
+	if incSecs > 0 {
+		res.Speedup = refitSecs / incSecs
+	}
+	return res, nil
+}
+
+func scaled(v int, scale float64) int {
+	s := int(float64(v) * scale)
+	if s < 8 {
+		s = 8
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+// Package bench is the experiment harness behind cmd/paperbench and the
+// repository's top-level benchmarks: it builds the synthetic equivalents
+// of the paper's workloads and regenerates every table and figure of the
+// evaluation (see DESIGN.md §3 for the experiment index).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"imrdmd/internal/core"
+	"imrdmd/internal/joblog"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/telemetry"
+)
+
+// SCLogData synthesizes the "SC Log" workload (Theta environment-log
+// temperatures, job-coupled) of the paper's Table I and case studies.
+func SCLogData(p, t int, seed int64) *mat.Dense {
+	prof := telemetry.ThetaEnv()
+	horizon := float64(t) * prof.SampleInterval
+	sched := joblog.Simulate(joblog.SimConfig{
+		NumNodes: p, Horizon: horizon, Seed: seed,
+		MeanInterarrival: horizon / 60, MeanDuration: horizon / 5,
+	})
+	gen := telemetry.NewGenerator(prof, p, seed)
+	gen.Schedule = sched
+	return gen.Matrix(0, t)
+}
+
+// GPUData synthesizes the "GPU Metrics" workload (Polaris GPU
+// temperatures: faster dynamics, more fast-band energy, hence more
+// extracted modes, as the paper observes).
+func GPUData(p, t int, seed int64) *mat.Dense {
+	prof := telemetry.PolarisGPU()
+	horizon := float64(t) * prof.SampleInterval
+	nodes := p / 4
+	if nodes < 1 {
+		nodes = 1
+	}
+	sched := joblog.Simulate(joblog.SimConfig{
+		NumNodes: nodes, Horizon: horizon, Seed: seed,
+		MeanInterarrival: horizon / 80, MeanDuration: horizon / 6,
+	})
+	gpuSched := &joblog.Schedule{NumNodes: p, Horizon: horizon}
+	for _, j := range sched.Jobs {
+		gj := j
+		gj.Nodes = nil
+		for _, n := range j.Nodes {
+			for g := 0; g < 4; g++ {
+				if idx := n*4 + g; idx < p {
+					gj.Nodes = append(gj.Nodes, idx)
+				}
+			}
+		}
+		gpuSched.Jobs = append(gpuSched.Jobs, gj)
+	}
+	gen := telemetry.NewGenerator(prof, p, seed)
+	gen.Schedule = gpuSched
+	return gen.Matrix(0, t)
+}
+
+// scOpts mirrors the paper's SC Log configuration at the given level
+// count.
+func scOpts(levels int) core.Options {
+	return core.Options{
+		DT:        telemetry.ThetaEnv().SampleInterval,
+		MaxLevels: levels, MaxCycles: 2, UseSVHT: true, Parallel: true,
+	}
+}
+
+// gpuOpts mirrors the paper's GPU Metrics configuration.
+func gpuOpts(levels int) core.Options {
+	return core.Options{
+		DT:        telemetry.PolarisGPU().SampleInterval,
+		MaxLevels: levels, MaxCycles: 2, UseSVHT: true, Parallel: true,
+	}
+}
+
+// timeIt runs f once and returns elapsed seconds.
+func timeIt(f func() error) (float64, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start).Seconds(), err
+}
+
+// Table renders rows of labelled columns as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+func TestAddSensorsMatchesFreshFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data, _ := multiscale(rng, 16, 512, 1, 0.1)
+	opts := defaultOpts()
+
+	// Fit on the first 12 sensors, then add the last 4.
+	inc := NewIncremental(opts)
+	if err := inc.InitialFit(data.RowSlice(0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AddSensors(data.RowSlice(12, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Sensors() != 16 {
+		t.Fatalf("Sensors = %d want 16", inc.Sensors())
+	}
+	recon := inc.Reconstruct()
+	if recon.R != 16 || recon.C != 512 {
+		t.Fatalf("reconstruction shape %dx%d", recon.R, recon.C)
+	}
+	// Reconstruction quality over the added sensors must be comparable to
+	// a fresh full fit.
+	fresh, err := Decompose(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshErr := fresh.ReconError(data)
+	addedErr := mat.Sub(data, recon).FrobNorm()
+	if addedErr > 2*freshErr+1e-9 {
+		t.Fatalf("AddSensors reconstruction error %g more than 2× fresh fit %g", addedErr, freshErr)
+	}
+}
+
+func TestAddSensorsThenPartialFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, _ := multiscale(rng, 12, 768, 1, 0.1)
+	inc := NewIncremental(defaultOpts())
+	if err := inc.InitialFit(data.RowSlice(0, 8).ColSlice(0, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AddSensors(data.RowSlice(8, 12).ColSlice(0, 512)); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming continues with the full sensor set.
+	if _, err := inc.PartialFit(data.ColSlice(512, 768)); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Cols() != 768 || inc.Sensors() != 12 {
+		t.Fatalf("state %d sensors × %d cols", inc.Sensors(), inc.Cols())
+	}
+	if inc.Reconstruct().HasNaN() {
+		t.Fatal("reconstruction has NaN after mixed growth")
+	}
+}
+
+func TestAddSensorsErrors(t *testing.T) {
+	inc := NewIncremental(defaultOpts())
+	if err := inc.AddSensors(mat.NewDense(2, 10)); err == nil {
+		t.Fatal("AddSensors before InitialFit must fail")
+	}
+	rng := rand.New(rand.NewSource(3))
+	data, _ := multiscale(rng, 8, 256, 1, 0.1)
+	if err := inc.InitialFit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AddSensors(mat.NewDense(2, 100)); err == nil {
+		t.Fatal("partial history must fail")
+	}
+	bad := mat.NewDense(2, 256)
+	bad.Set(0, 0, math.NaN())
+	if err := inc.AddSensors(bad); err == nil {
+		t.Fatal("NaN rows must fail")
+	}
+	if err := inc.AddSensors(mat.NewDense(0, 256)); err != nil {
+		t.Fatal("empty row block should be a no-op")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Long smooth data compresses well: few slow modes explain many
+	// columns.
+	data, _ := multiscale(rng, 64, 2048, 1, 0.05)
+	tree, err := Decompose(data, Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.StorageBytes() <= 0 {
+		t.Fatal("storage bytes not positive")
+	}
+	ratio := tree.CompressionRatio()
+	if ratio <= 1 {
+		t.Fatalf("compression ratio %.2f should exceed 1 for smooth data", ratio)
+	}
+	// More levels keep more modes: compression must not improve.
+	deep, err := Decompose(data, Options{DT: 1, MaxLevels: 7, MaxCycles: 2, UseSVHT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.CompressionRatio() > ratio {
+		t.Fatalf("deeper tree compresses better (%.2f > %.2f)?", deep.CompressionRatio(), ratio)
+	}
+}
+
+func TestStabilizeGrowthBoundsReconstruction(t *testing.T) {
+	// Data with a genuinely growing transient tempts DMD into growing
+	// modes; stabilization must cap the reconstruction's magnitude.
+	p, tt := 8, 512
+	data := mat.NewDense(p, tt)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < p; i++ {
+		for k := 0; k < tt; k++ {
+			grow := math.Exp(0.004 * float64(k))
+			data.Set(i, k, 50+grow*math.Sin(2*math.Pi*float64(k)/128)+0.2*rng.NormFloat64())
+		}
+	}
+	tree, err := Decompose(data, Options{DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := tree.StabilizeGrowth()
+	if adjusted == 0 {
+		t.Fatal("no growing modes found to stabilize on growing data")
+	}
+	recon := tree.Reconstruct()
+	if recon.HasNaN() {
+		t.Fatal("stabilized reconstruction has NaN")
+	}
+	// No retained mode may still grow.
+	for _, nd := range tree.Nodes {
+		for _, m := range nd.Modes {
+			if real(m.Psi) > 0 {
+				t.Fatal("growing mode survived stabilization")
+			}
+		}
+	}
+	// Stabilizing twice is a no-op.
+	if tree.StabilizeGrowth() != 0 {
+		t.Fatal("second stabilization adjusted modes again")
+	}
+}

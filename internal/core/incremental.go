@@ -1,0 +1,428 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"imrdmd/internal/dmd"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/svd"
+)
+
+// Incremental is the I-mrDMD state machine (paper Algorithm 1, Fig. 1(c)).
+//
+// After InitialFit over T columns, each PartialFit absorbs T₁ new columns:
+//
+//  1. The level-1 truncated SVD is updated incrementally (Brand/Kühl) with
+//     the newly sampled columns, and the level-1 DMD — hence the slow
+//     modes over the full [0, T+T₁) timeline — is recomputed from it.
+//  2. All previously computed nodes are demoted one level (Algorithm 1,
+//     lines 7–9): the new level 2 is the timeline split at T.
+//  3. A fresh mrDMD subtree (levels 2…MaxLevels) is fitted to the new
+//     window's residual after subtracting the new level-1 slow part.
+//  4. The Frobenius norm of the drift between old and new level-1 slow
+//     reconstructions over the old window is measured. If it exceeds
+//     DriftThreshold, the old subtrees are recomputed against the new
+//     slow part — synchronously, or asynchronously when AsyncRecompute is
+//     set (the "embarrassingly parallel" update the paper defers to
+//     future work; implemented here).
+//
+// The PartialFit cost is dominated by the new window's subtree, so it is
+// nearly independent of how much history has been absorbed — the property
+// behind Table I's flat partial-fit column.
+type Incremental struct {
+	// DriftThreshold triggers recomputation of pre-existing subtrees when
+	// the level-1 slow-mode drift (Frobenius norm over the old window's
+	// subsampled grid) exceeds it. Zero disables recomputation.
+	DriftThreshold float64
+	// AsyncRecompute runs triggered recomputations in background
+	// goroutines; Wait blocks until they land.
+	AsyncRecompute bool
+
+	opts Options
+	p    int
+
+	mu  sync.Mutex // guards all mutable state below
+	raw *mat.Dense // all absorbed data, P×T (kept for recompute and error reporting)
+
+	stride1    int              // level-1 subsample stride, fixed at InitialFit
+	sub1       *mat.Dense       // level-1 subsampled snapshots
+	isvd       *svd.Incremental // running SVD of sub1's X part (all but last column)
+	nextSample int              // next global column index on the level-1 grid
+
+	level1   *Node
+	segments []*segment
+
+	updates    int
+	recomputes int
+	driftLog   []float64
+
+	wg sync.WaitGroup
+}
+
+// segment is a contiguous window whose subtree (levels ≥ 2) was fitted in
+// one InitialFit or PartialFit.
+type segment struct {
+	start, end int
+	nodes      []*Node
+}
+
+// UpdateStats summarizes one PartialFit.
+type UpdateStats struct {
+	// Drift is ‖old slow recon − new slow recon‖_F over the old window's
+	// level-1 sample grid.
+	Drift float64
+	// Recomputed reports whether old subtrees were (or are being, if
+	// async) recomputed because Drift exceeded the threshold.
+	Recomputed bool
+	// NewColumns is the number of raw columns absorbed.
+	NewColumns int
+	// NewSamples is how many of them landed on the level-1 sample grid.
+	NewSamples int
+}
+
+// NewIncremental creates an I-mrDMD analyzer; call InitialFit before
+// PartialFit.
+func NewIncremental(opts Options) *Incremental {
+	return &Incremental{opts: opts.withDefaults()}
+}
+
+// InitialFit performs the batch mrDMD over the first window and seeds the
+// incremental level-1 SVD. Equivalent to Decompose on the same data.
+func (inc *Incremental) InitialFit(data *mat.Dense) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.raw != nil {
+		return errors.New("core: InitialFit called twice; create a new Incremental")
+	}
+	p, t := data.Dims()
+	if t < 2 {
+		return dmd.ErrTooFewSnapshots
+	}
+	if data.HasNaN() {
+		return errors.New("core: input contains NaN or Inf")
+	}
+	inc.p = p
+	inc.raw = data.Clone()
+	inc.stride1 = windowStride(t, inc.opts)
+	inc.sub1 = data.Subsample(inc.stride1)
+	ns := inc.sub1.C
+	inc.nextSample = ((t-1)/inc.stride1 + 1) * inc.stride1
+	if ns < 2 {
+		return fmt.Errorf("core: level-1 sample grid too small (%d columns)", ns)
+	}
+	inc.isvd = svd.NewIncremental(inc.sub1.ColSlice(0, ns-1), inc.rankCap())
+
+	if err := inc.refreshLevel1(); err != nil {
+		return err
+	}
+	// Levels ≥ 2: halves of the residual, exactly as batch mrDMD does.
+	resid := inc.residualOf(0, t)
+	nodes, err := inc.subtree(resid, 0)
+	if err != nil {
+		return err
+	}
+	inc.segments = []*segment{{start: 0, end: t, nodes: nodes}}
+	return nil
+}
+
+// rankCap bounds the incremental SVD's retained rank so update cost stays
+// flat. It comfortably exceeds the slow-mode count at level 1.
+func (inc *Incremental) rankCap() int {
+	rc := 8 * inc.opts.NyquistFactor * inc.opts.MaxCycles
+	if rc < 48 {
+		rc = 48
+	}
+	if inc.opts.Rank > 0 && inc.opts.Rank+8 > rc {
+		rc = inc.opts.Rank + 8
+	}
+	if rc > inc.p {
+		rc = inc.p
+	}
+	return rc
+}
+
+// PartialFit absorbs newData (P×T₁) per Algorithm 1.
+func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	var stats UpdateStats
+	if inc.raw == nil {
+		return stats, errors.New("core: PartialFit before InitialFit")
+	}
+	if newData.R != inc.p {
+		return stats, fmt.Errorf("core: PartialFit row mismatch %d vs %d", newData.R, inc.p)
+	}
+	if newData.C == 0 {
+		return stats, nil
+	}
+	if newData.HasNaN() {
+		return stats, errors.New("core: input contains NaN or Inf")
+	}
+	oldT := inc.raw.C
+	inc.raw = mat.HStack(inc.raw, newData)
+	newT := inc.raw.C
+	stats.NewColumns = newData.C
+
+	// Snapshot the old level-1 slow reconstruction on the old sample grid
+	// before the modes move.
+	oldNS := inc.sub1.C
+	oldSlow := inc.level1SlowOnGrid(oldNS)
+
+	// Absorb new columns that land on the level-1 grid.
+	var newCols []int
+	for idx := inc.nextSample; idx < newT; idx += inc.stride1 {
+		newCols = append(newCols, idx)
+	}
+	if len(newCols) > 0 {
+		block := mat.NewDense(inc.p, len(newCols))
+		for k, idx := range newCols {
+			block.SetCol(k, inc.raw.Col(idx))
+		}
+		inc.sub1 = mat.HStack(inc.sub1, block)
+		inc.nextSample = newCols[len(newCols)-1] + inc.stride1
+		// The running SVD tracks X = sub1[:, :end-1]: the previous last
+		// column enters X now, and the newest column is held out as the
+		// final Y target.
+		ns := inc.sub1.C
+		inc.isvd.Update(inc.sub1.ColSlice(oldNS-1, ns-1))
+	}
+	stats.NewSamples = len(newCols)
+
+	if err := inc.refreshLevel1(); err != nil {
+		return stats, err
+	}
+
+	// Drift of the slow part over the old window (Algorithm 1's update
+	// criterion). Measured on the subsampled grid so the check is O(ns),
+	// not O(T).
+	newSlow := inc.level1SlowOnGrid(oldNS)
+	stats.Drift = mat.Sub(oldSlow, newSlow).FrobNorm()
+	inc.driftLog = append(inc.driftLog, stats.Drift)
+
+	// Demote every pre-existing node one level: the new level 2 is the
+	// timeline split at oldT.
+	for _, seg := range inc.segments {
+		for _, nd := range seg.nodes {
+			nd.Level++
+		}
+	}
+
+	// Fresh subtree over the new window's residual.
+	resid := inc.residualOf(oldT, newT)
+	nodes, err := inc.subtree(resid, oldT)
+	if err != nil {
+		return stats, err
+	}
+	inc.segments = append(inc.segments, &segment{start: oldT, end: newT, nodes: nodes})
+	inc.updates++
+
+	if inc.DriftThreshold > 0 && stats.Drift > inc.DriftThreshold {
+		stats.Recomputed = true
+		inc.recomputes++
+		old := inc.segments[:len(inc.segments)-1]
+		if inc.AsyncRecompute {
+			for _, seg := range old {
+				seg := seg
+				inc.wg.Add(1)
+				go func() {
+					defer inc.wg.Done()
+					inc.recomputeSegment(seg)
+				}()
+			}
+		} else {
+			for _, seg := range old {
+				inc.recomputeSegmentLocked(seg)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// recomputeSegment re-derives a segment's subtree against the current
+// level-1 slow part (async path: takes the lock itself).
+func (inc *Incremental) recomputeSegment(seg *segment) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.recomputeSegmentLocked(seg)
+}
+
+func (inc *Incremental) recomputeSegmentLocked(seg *segment) {
+	resid := inc.residualOf(seg.start, seg.end)
+	nodes, err := inc.subtree(resid, seg.start)
+	if err != nil {
+		return // keep the stale subtree; reconstruction degrades gracefully
+	}
+	// Preserve the demotion depth the segment has accumulated.
+	extra := 0
+	if len(seg.nodes) > 0 {
+		minOld := seg.nodes[0].Level
+		for _, nd := range seg.nodes {
+			if nd.Level < minOld {
+				minOld = nd.Level
+			}
+		}
+		extra = minOld - 2
+	}
+	if extra > 0 {
+		for _, nd := range nodes {
+			nd.Level += extra
+		}
+	}
+	seg.nodes = nodes
+}
+
+// subtree fits the levels ≥ 2 mrDMD tree on a residual window: the window
+// is split in half and each half is decomposed starting at level 2,
+// matching the batch recursion shape.
+func (inc *Incremental) subtree(resid *mat.Dense, start int) ([]*Node, error) {
+	n := resid.C
+	tp := newTokenPool(inc.opts)
+	if inc.opts.MaxLevels < 2 || n < 2*inc.opts.MinWindow {
+		return nil, nil
+	}
+	half := n / 2
+	left, err := decompose(resid.ColSlice(0, half), 2, start, inc.opts, tp)
+	if err != nil {
+		return nil, err
+	}
+	right, err := decompose(resid.ColSlice(half, n), 2, start+half, inc.opts, tp)
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+// refreshLevel1 recomputes the level-1 DMD and slow modes from the
+// incremental SVD state.
+func (inc *Incremental) refreshLevel1() error {
+	t := inc.raw.C
+	res := inc.isvd.Result()
+	dec, err := dmd.FromSVD(res, inc.sub1, dmd.Options{
+		DT:      float64(inc.stride1) * inc.opts.DT,
+		Rank:    inc.opts.Rank,
+		UseSVHT: inc.opts.UseSVHT,
+	})
+	if err != nil {
+		return err
+	}
+	rho := float64(inc.opts.MaxCycles) / (float64(t) * inc.opts.DT)
+	slow, _ := dmd.SlowModes(dec.Modes, rho)
+	inc.level1 = &Node{
+		Level:       1,
+		Start:       0,
+		End:         t,
+		Stride:      inc.stride1,
+		Modes:       slow,
+		NumAllModes: len(dec.Modes),
+	}
+	return nil
+}
+
+// level1SlowOnGrid evaluates the level-1 slow reconstruction on the first
+// ns points of the level-1 sample grid.
+func (inc *Incremental) level1SlowOnGrid(ns int) *mat.Dense {
+	times := make([]float64, ns)
+	for k := range times {
+		times[k] = float64(k*inc.stride1) * inc.opts.DT
+	}
+	return dmd.ReconstructModes(inc.level1.Modes, inc.p, times)
+}
+
+// residualOf returns raw[:, lo:hi] minus the level-1 slow reconstruction
+// over that window.
+func (inc *Incremental) residualOf(lo, hi int) *mat.Dense {
+	resid := inc.raw.ColSlice(lo, hi)
+	if len(inc.level1.Modes) == 0 {
+		return resid
+	}
+	times := make([]float64, hi-lo)
+	for k := range times {
+		times[k] = float64(lo+k) * inc.opts.DT
+	}
+	recon := dmd.ReconstructModes(inc.level1.Modes, inc.p, times)
+	mat.SubInPlace(resid, recon)
+	return resid
+}
+
+// Wait blocks until all asynchronous recomputations have landed.
+func (inc *Incremental) Wait() { inc.wg.Wait() }
+
+// Tree snapshots the current decomposition as a Tree (level-1 node plus
+// every segment subtree), usable with all Tree methods.
+func (inc *Incremental) Tree() *Tree {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	nodes := []*Node{cloneNode(inc.level1)}
+	for _, seg := range inc.segments {
+		for _, nd := range seg.nodes {
+			nodes = append(nodes, cloneNode(nd))
+		}
+	}
+	return &Tree{Nodes: nodes, P: inc.p, T: inc.raw.C, Opts: inc.opts}
+}
+
+func cloneNode(n *Node) *Node {
+	c := *n
+	c.Modes = append([]dmd.Mode(nil), n.Modes...)
+	return &c
+}
+
+// Reconstruct returns the current I-mrDMD approximation of all absorbed
+// data.
+func (inc *Incremental) Reconstruct() *mat.Dense {
+	return inc.Tree().Reconstruct()
+}
+
+// ReconError returns ‖raw − Reconstruct()‖_F over all absorbed data.
+func (inc *Incremental) ReconError() float64 {
+	inc.mu.Lock()
+	raw := inc.raw.Clone()
+	inc.mu.Unlock()
+	return mat.Sub(raw, inc.Reconstruct()).FrobNorm()
+}
+
+// Raw returns a copy of all absorbed data (useful for comparisons).
+func (inc *Incremental) Raw() *mat.Dense {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.raw.Clone()
+}
+
+// RefitBatch runs batch mrDMD over everything absorbed so far — the
+// "without our incremental approach" comparator in §IV and Q2.
+func (inc *Incremental) RefitBatch() (*Tree, error) {
+	return Decompose(inc.Raw(), inc.opts)
+}
+
+// Cols returns the number of absorbed columns.
+func (inc *Incremental) Cols() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.raw == nil {
+		return 0
+	}
+	return inc.raw.C
+}
+
+// Updates returns how many PartialFits have been applied.
+func (inc *Incremental) Updates() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.updates
+}
+
+// Recomputes returns how many drift-triggered recomputations have run.
+func (inc *Incremental) Recomputes() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.recomputes
+}
+
+// DriftLog returns the drift measured at each PartialFit.
+func (inc *Incremental) DriftLog() []float64 {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return append([]float64(nil), inc.driftLog...)
+}

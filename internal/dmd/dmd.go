@@ -1,0 +1,319 @@
+// Package dmd implements exact Dynamic Mode Decomposition (Tu et al.,
+// "On dynamic mode decomposition: theory and applications") plus the
+// spectrum quantities (Eq. 9 and Eq. 10 of the paper) that the mrDMD
+// layer and its frequency-isolation step are built on.
+package dmd
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"imrdmd/internal/eig"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/svd"
+)
+
+// Mode is one DMD eigentriple with its derived spectrum quantities.
+type Mode struct {
+	Phi    []complex128 // spatial mode, length P, column of Φ = YVΣ⁻¹W
+	Lambda complex128   // discrete-time eigenvalue of Ã
+	Psi    complex128   // continuous-time exponent ψ = ln(λ)/Δt
+	Amp    complex128   // initial amplitude b from Φ b = x₁
+	Freq   float64      // |Im ψ| / 2π, cycles per unit time (Eq. 9)
+	Power  float64      // ‖φ‖₂² (Eq. 10)
+}
+
+// Options configures a decomposition.
+type Options struct {
+	// DT is the sampling interval of the snapshot columns.
+	DT float64
+	// Rank fixes the SVD truncation rank; 0 defers to SVHT (or full rank
+	// if UseSVHT is false).
+	Rank int
+	// UseSVHT truncates at the Gavish–Donoho optimal hard threshold.
+	UseSVHT bool
+}
+
+// Decomposition is the result of exact DMD on a snapshot matrix.
+type Decomposition struct {
+	Modes []Mode
+	P     int     // state dimension (rows)
+	T     int     // snapshots used (columns)
+	DT    float64 // sampling interval
+	Rank  int     // SVD truncation rank actually used
+}
+
+// ErrTooFewSnapshots is returned when fewer than two snapshot columns are
+// available.
+var ErrTooFewSnapshots = errors.New("dmd: need at least 2 snapshot columns")
+
+// Compute runs exact DMD on data (P×T, columns are snapshots Δt apart).
+func Compute(data *mat.Dense, opts Options) (*Decomposition, error) {
+	_, t := data.Dims()
+	if t < 2 {
+		return nil, ErrTooFewSnapshots
+	}
+	x := data.ColSlice(0, t-1)
+	s := svd.Compute(x)
+	return FromSVD(s, data, opts)
+}
+
+// FromSVD finishes a DMD given the (possibly incrementally maintained)
+// economy SVD of X = snapshots[:, :T-1]. This split is what lets I-mrDMD
+// reuse the incremental SVD state at level 1. Amplitudes are fitted over
+// all snapshots (Jovanović et al. optimal amplitudes), not just the first
+// one — essential for mrDMD, where a poor slow-mode amplitude leaks error
+// into every deeper level.
+func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition, error) {
+	if opts.DT <= 0 {
+		return nil, errors.New("dmd: Options.DT must be positive")
+	}
+	p, t := snapshots.Dims()
+	if t < 2 {
+		return nil, ErrTooFewSnapshots
+	}
+	y := snapshots.ColSlice(1, t)
+	rank := s.Rank()
+	if opts.UseSVHT {
+		rank = svd.SVHTRank(s.S, s.U.R, s.V.R)
+	}
+	if opts.Rank > 0 && opts.Rank < rank {
+		rank = opts.Rank
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Rank() {
+		rank = s.Rank()
+	}
+	tr := s.Truncate(rank)
+	// Guard degenerate zero data: all-zero singular spectrum.
+	if tr.S[0] == 0 {
+		return &Decomposition{Modes: nil, P: p, T: t, DT: opts.DT, Rank: 0}, nil
+	}
+
+	// Ã = Uᵀ Y V Σ⁻¹ (r×r).
+	uty := mat.MulT(tr.U, y)      // r×(t-1)
+	utyv := mat.Mul(uty, tr.V)    // r×r
+	for i := 0; i < utyv.R; i++ { // scale columns by Σ⁻¹
+		row := utyv.Row(i)
+		for j := range row {
+			row[j] /= tr.S[j]
+		}
+	}
+
+	vals, vecs := eig.Nonsymmetric(utyv)
+
+	// Φ = Y V Σ⁻¹ W (exact DMD modes).
+	yvs := mat.Mul(y, tr.V) // p×r
+	for i := 0; i < yvs.R; i++ {
+		row := yvs.Row(i)
+		for j := range row {
+			row[j] /= tr.S[j]
+		}
+	}
+	phi := mat.CMul(mat.Complex(yvs), vecs) // p×r
+
+	b := optimalAmplitudes(phi, vals, snapshots)
+
+	modes := make([]Mode, 0, len(vals))
+	for j, lam := range vals {
+		col := make([]complex128, p)
+		for i := 0; i < p; i++ {
+			col[i] = phi.At(i, j)
+		}
+		psi := logLambda(lam, opts.DT)
+		var pow float64
+		for _, c := range col {
+			pow += real(c)*real(c) + imag(c)*imag(c)
+		}
+		modes = append(modes, Mode{
+			Phi:    col,
+			Lambda: lam,
+			Psi:    psi,
+			Amp:    b[j],
+			Freq:   math.Abs(imag(psi)) / (2 * math.Pi),
+			Power:  pow,
+		})
+	}
+	return &Decomposition{Modes: modes, P: p, T: t, DT: opts.DT, Rank: rank}, nil
+}
+
+// optimalAmplitudes solves min_b ‖X − Φ diag(b) V‖_F where V is the
+// Vandermonde matrix V[i,k] = λᵢᵏ over all T snapshots (Jovanović,
+// Schmid & Nichols, "Sparsity-promoting dynamic mode decomposition").
+// The normal equations are
+//
+//	(ΦᴴΦ ∘ conj(V Vᴴ)) b = conj(diag(V Xᴴ Φ))
+//
+// with ∘ the Hadamard product; the system matrix is positive
+// semidefinite by the Schur product theorem.
+func optimalAmplitudes(phi *mat.CDense, vals []complex128, snapshots *mat.Dense) []complex128 {
+	p, t := snapshots.Dims()
+	r := len(vals)
+	// Vandermonde V (r×t): powers of the discrete eigenvalues, with a
+	// magnitude clamp so explosive spurious eigenvalues cannot overflow.
+	vand := mat.NewCDense(r, t)
+	for i, lam := range vals {
+		w := complex(1, 0)
+		for k := 0; k < t; k++ {
+			vand.Set(i, k, w)
+			w *= lam
+			if a := real(w)*real(w) + imag(w)*imag(w); a > 1e300 {
+				w = w / complex(math.Sqrt(a), 0) * complex(1e150, 0)
+			}
+		}
+	}
+	// G1 = ΦᴴΦ (r×r), G2 = V Vᴴ (r×r).
+	g1 := mat.NewCDense(r, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			var s complex128
+			for k := 0; k < p; k++ {
+				s += cmplx.Conj(phi.At(k, i)) * phi.At(k, j)
+			}
+			g1.Set(i, j, s)
+		}
+	}
+	g2 := mat.NewCDense(r, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			var s complex128
+			for k := 0; k < t; k++ {
+				s += vand.At(i, k) * cmplx.Conj(vand.At(j, k))
+			}
+			g2.Set(i, j, s)
+		}
+	}
+	// System matrix P = G1 ∘ conj(G2); rhs q = conj(diag(V Xᴴ Φ)).
+	sys := mat.NewCDense(r, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			sys.Set(i, j, g1.At(i, j)*cmplx.Conj(g2.At(i, j)))
+		}
+	}
+	q := make([]complex128, r)
+	for i := 0; i < r; i++ {
+		// (V Xᴴ Φ)[i,i] = Σ_k V[i,k] · Σ_p conj(X[p,k])·Φ[p,i]
+		var s complex128
+		for k := 0; k < t; k++ {
+			var xphi complex128
+			for pp := 0; pp < p; pp++ {
+				xphi += complex(snapshots.At(pp, k), 0) * phi.At(pp, i)
+			}
+			s += vand.At(i, k) * xphi
+		}
+		q[i] = cmplx.Conj(s)
+	}
+	// Tikhonov-style jitter keeps the solve stable when modes coincide.
+	var trace float64
+	for i := 0; i < r; i++ {
+		trace += cmplx.Abs(sys.At(i, i))
+	}
+	jitter := complex(1e-12*(trace/float64(r)+1), 0)
+	for i := 0; i < r; i++ {
+		sys.Set(i, i, sys.At(i, i)+jitter)
+	}
+	return mat.CLUFactor(sys).Solve(q)
+}
+
+// logLambda computes ψ = ln(λ)/Δt with a floor on |λ| so that numerically
+// dead modes (λ≈0, i.e. fully damped within one step) yield a very
+// negative but finite growth rate instead of -Inf.
+func logLambda(lam complex128, dt float64) complex128 {
+	const floor = 1e-300
+	if cmplx.Abs(lam) < floor {
+		lam = complex(floor, 0)
+	}
+	return cmplx.Log(lam) / complex(dt, 0)
+}
+
+// Reconstruct evaluates the DMD model x(t) = Σ φᵢ e^{ψᵢ t} bᵢ (Eq. 6) at
+// the given times (in the same units as DT), returning a real P×len(times)
+// matrix (imaginary parts cancel up to roundoff for real data and are
+// discarded).
+func (d *Decomposition) Reconstruct(times []float64) *mat.Dense {
+	return ReconstructModes(d.Modes, d.P, times)
+}
+
+// ReconstructModes evaluates a subset of modes at the given times.
+func ReconstructModes(modes []Mode, p int, times []float64) *mat.Dense {
+	out := mat.NewDense(p, len(times))
+	for _, m := range modes {
+		for k, t := range times {
+			w := expPsiT(m.Psi, t) * m.Amp
+			if w == 0 {
+				continue
+			}
+			for i := 0; i < p; i++ {
+				out.Data[i*len(times)+k] += real(m.Phi[i] * w)
+			}
+		}
+	}
+	return out
+}
+
+// expPsiT computes e^{ψt} with the real exponent clamped so growing modes
+// cannot overflow to +Inf when extrapolated across a long window.
+func expPsiT(psi complex128, t float64) complex128 {
+	re := real(psi) * t
+	if re > 700 {
+		re = 700
+	}
+	if re < -700 {
+		return 0
+	}
+	im := imag(psi) * t
+	return cmplx.Exp(complex(re, im))
+}
+
+// SlowModes partitions modes by the mrDMD slow-mode criterion
+// |ψ|/(2π) ≤ rho (cycles per unit time), following the reference mrDMD
+// implementation which applies the modulus of the full complex exponent
+// so that fast-growing modes also count as "fast".
+func SlowModes(modes []Mode, rho float64) (slow, fast []Mode) {
+	for _, m := range modes {
+		if cmplx.Abs(m.Psi)/(2*math.Pi) <= rho {
+			slow = append(slow, m)
+		} else {
+			fast = append(fast, m)
+		}
+	}
+	return slow, fast
+}
+
+// SpectrumPoint is one (frequency, power, amplitude) sample of the DMD /
+// mrDMD spectrum used for frequency isolation (paper §III-A2, Fig. 5/7).
+type SpectrumPoint struct {
+	Freq  float64 // cycles per unit time (Eq. 9)
+	Power float64 // ‖φ‖² (Eq. 10)
+	Amp   float64 // |b|, the plotted "mode amplitude"
+	Grow  float64 // Re ψ: positive = growing, negative = decaying
+	Level int     // mrDMD level the mode came from (0 for plain DMD)
+}
+
+// Spectrum returns the spectrum points of a decomposition.
+func (d *Decomposition) Spectrum() []SpectrumPoint {
+	pts := make([]SpectrumPoint, 0, len(d.Modes))
+	for _, m := range d.Modes {
+		pts = append(pts, SpectrumPoint{
+			Freq:  m.Freq,
+			Power: m.Power,
+			Amp:   cmplx.Abs(m.Amp),
+			Grow:  real(m.Psi),
+		})
+	}
+	return pts
+}
+
+// FilterBand keeps spectrum points with Freq in [lo, hi].
+func FilterBand(pts []SpectrumPoint, lo, hi float64) []SpectrumPoint {
+	out := pts[:0:0]
+	for _, p := range pts {
+		if p.Freq >= lo && p.Freq <= hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}

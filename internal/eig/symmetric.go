@@ -1,0 +1,121 @@
+// Package eig provides the eigendecompositions needed by the SVD and DMD
+// layers: a cyclic Jacobi solver for symmetric matrices (used by the
+// method-of-snapshots SVD) and a complex shifted-QR solver with inverse
+// iteration for small nonsymmetric matrices (used to diagonalize the
+// DMD-projected operator Ã).
+package eig
+
+import (
+	"math"
+	"sort"
+
+	"imrdmd/internal/mat"
+)
+
+// Symmetric computes the eigendecomposition A = V diag(w) Vᵀ of a
+// symmetric matrix using cyclic-by-row Jacobi rotations. Eigenvalues are
+// returned in descending order with matching eigenvector columns.
+//
+// Jacobi is chosen over tridiagonalization+QL for its simplicity and its
+// high relative accuracy on the positive semidefinite Gram matrices this
+// package feeds it.
+func Symmetric(a *mat.Dense) (w []float64, v *mat.Dense) {
+	if a.R != a.C {
+		panic("eig: Symmetric requires a square matrix")
+	}
+	n := a.R
+	s := a.Clone()
+	v = mat.Eye(n)
+	if n == 0 {
+		return nil, v
+	}
+	if n == 1 {
+		return []float64{s.At(0, 0)}, v
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(s)
+		if off <= 1e-14*(1+s.FrobNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := s.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := s.At(p, p)
+				aqq := s.At(q, q)
+				// Classic stable rotation computation.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				rotate(s, v, p, q, c, sn)
+			}
+		}
+	}
+
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = s.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return w[idx[i]] > w[idx[j]] })
+	ws := make([]float64, n)
+	vs := mat.NewDense(n, n)
+	for k, i := range idx {
+		ws[k] = w[i]
+		for r := 0; r < n; r++ {
+			vs.Set(r, k, v.At(r, i))
+		}
+	}
+	return ws, vs
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) as S ← JᵀSJ and V ← VJ.
+func rotate(s, v *mat.Dense, p, q int, c, sn float64) {
+	n := s.R
+	for k := 0; k < n; k++ {
+		skp := s.At(k, p)
+		skq := s.At(k, q)
+		s.Set(k, p, c*skp-sn*skq)
+		s.Set(k, q, sn*skp+c*skq)
+	}
+	for k := 0; k < n; k++ {
+		spk := s.At(p, k)
+		sqk := s.At(q, k)
+		s.Set(p, k, c*spk-sn*sqk)
+		s.Set(q, k, sn*spk+c*sqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-sn*vkq)
+		v.Set(k, q, sn*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(s *mat.Dense) float64 {
+	var sum float64
+	n := s.R
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := s.At(i, j)
+				sum += v * v
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}

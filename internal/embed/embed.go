@@ -1,0 +1,119 @@
+// Package embed reimplements the dimensionality-reduction methods the
+// paper compares I-mrDMD against in Fig. 8 and Fig. 9: PCA, incremental
+// PCA (Ross et al.), exact t-SNE (van der Maaten), UMAP (McInnes et al.)
+// and Aligned-UMAP (Dadu et al.) — all stdlib-only. Inputs are
+// samples×features matrices; outputs are samples×k embeddings.
+package embed
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"imrdmd/internal/mat"
+)
+
+// Embedder is a batch dimensionality-reduction method.
+type Embedder interface {
+	// Name identifies the method in benchmark tables.
+	Name() string
+	// FitTransform embeds x (n samples × d features) into n×k.
+	FitTransform(x *mat.Dense) (*mat.Dense, error)
+}
+
+// ErrTooFewSamples is returned when a method needs more samples.
+var ErrTooFewSamples = errors.New("embed: too few samples")
+
+// pairwiseSqDist returns the n×n matrix of squared Euclidean distances
+// between rows of x, computed via the Gram expansion ‖a−b‖² =
+// ‖a‖²+‖b‖²−2a·b (one matrix multiply instead of n² row scans).
+func pairwiseSqDist(x *mat.Dense) *mat.Dense {
+	n := x.R
+	g := mat.Gram(x, false) // x xᵀ
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		gii := g.At(i, i)
+		for j := 0; j < n; j++ {
+			v := gii + g.At(j, j) - 2*g.At(i, j)
+			if v < 0 { // roundoff
+				v = 0
+			}
+			d.Set(i, j, v)
+		}
+	}
+	return d
+}
+
+// neighbor is one kNN edge.
+type neighbor struct {
+	idx  int
+	dist float64 // Euclidean (not squared)
+}
+
+// kNearest returns, for each row, its k nearest other rows by Euclidean
+// distance (exact, O(n²) — the benchmark sizes are ≤ a few thousand).
+func kNearest(x *mat.Dense, k int) [][]neighbor {
+	n := x.R
+	if k >= n {
+		k = n - 1
+	}
+	d2 := pairwiseSqDist(x)
+	out := make([][]neighbor, n)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := range idx {
+			idx[j] = j
+		}
+		row := d2.Row(i)
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		nb := make([]neighbor, 0, k)
+		for _, j := range idx {
+			if j == i {
+				continue
+			}
+			nb = append(nb, neighbor{idx: j, dist: math.Sqrt(row[j])})
+			if len(nb) == k {
+				break
+			}
+		}
+		out[i] = nb
+	}
+	return out
+}
+
+// randn fills an n×k matrix with scaled Gaussian noise.
+func randn(rng *rand.Rand, n, k int, scale float64) *mat.Dense {
+	m := mat.NewDense(n, k)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+// columnMeans returns the feature means of x.
+func columnMeans(x *mat.Dense) []float64 {
+	mu := make([]float64, x.C)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			mu[j] += v
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(x.R)
+	}
+	return mu
+}
+
+// centerRows returns x with mu subtracted from every row.
+func centerRows(x *mat.Dense, mu []float64) *mat.Dense {
+	out := x.Clone()
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] -= mu[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+// twoClusters builds n samples in d dims: half around +c, half around −c.
+// Returns the data and the label of each sample (0 or 1).
+func twoClusters(rng *rand.Rand, n, d int, sep float64) (*mat.Dense, []int) {
+	x := mat.NewDense(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+			labels[i] = 1
+		}
+		for j := 0; j < d; j++ {
+			center := 0.0
+			if j < 3 { // separation lives in the first few dims
+				center = sign * sep
+			}
+			x.Set(i, j, center+rng.NormFloat64())
+		}
+	}
+	return x, labels
+}
+
+// separationScore returns (between-centroid distance) / (mean within-
+// cluster spread) of a 2-D embedding — higher is better separated.
+func separationScore(y *mat.Dense, labels []int) float64 {
+	var c0, c1 [2]float64
+	var n0, n1 float64
+	for i := 0; i < y.R; i++ {
+		if labels[i] == 0 {
+			c0[0] += y.At(i, 0)
+			c0[1] += y.At(i, 1)
+			n0++
+		} else {
+			c1[0] += y.At(i, 0)
+			c1[1] += y.At(i, 1)
+			n1++
+		}
+	}
+	c0[0] /= n0
+	c0[1] /= n0
+	c1[0] /= n1
+	c1[1] /= n1
+	var spread float64
+	for i := 0; i < y.R; i++ {
+		c := c0
+		if labels[i] == 1 {
+			c = c1
+		}
+		dx := y.At(i, 0) - c[0]
+		dy := y.At(i, 1) - c[1]
+		spread += math.Sqrt(dx*dx + dy*dy)
+	}
+	spread /= float64(y.R)
+	dx := c0[0] - c1[0]
+	dy := c0[1] - c1[1]
+	between := math.Sqrt(dx*dx + dy*dy)
+	if spread == 0 {
+		return math.Inf(1)
+	}
+	return between / spread
+}
+
+func TestPairwiseSqDist(t *testing.T) {
+	x := mat.NewDenseData(3, 2, []float64{0, 0, 3, 4, 0, 1})
+	d := pairwiseSqDist(x)
+	if d.At(0, 1) != 25 || d.At(1, 0) != 25 {
+		t.Fatalf("d(0,1) = %g want 25", d.At(0, 1))
+	}
+	if d.At(0, 2) != 1 {
+		t.Fatalf("d(0,2) = %g want 1", d.At(0, 2))
+	}
+	for i := 0; i < 3; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatal("self distance nonzero")
+		}
+	}
+}
+
+func TestKNearest(t *testing.T) {
+	x := mat.NewDenseData(4, 1, []float64{0, 1, 10, 11})
+	nb := kNearest(x, 2)
+	if nb[0][0].idx != 1 {
+		t.Fatalf("nearest of 0 = %d want 1", nb[0][0].idx)
+	}
+	if nb[2][0].idx != 3 {
+		t.Fatalf("nearest of 2 = %d want 3", nb[2][0].idx)
+	}
+	if len(nb[0]) != 2 {
+		t.Fatalf("k = %d want 2", len(nb[0]))
+	}
+	// k >= n clamps
+	nb = kNearest(x, 10)
+	if len(nb[0]) != 3 {
+		t.Fatalf("clamped k = %d want 3", len(nb[0]))
+	}
+}
+
+func TestPCASeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := twoClusters(rng, 60, 20, 4)
+	p := &PCA{Components: 2}
+	y, err := p.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.R != 60 || y.C != 2 {
+		t.Fatalf("shape %dx%d", y.R, y.C)
+	}
+	if s := separationScore(y, labels); s < 2 {
+		t.Fatalf("PCA separation %g too weak", s)
+	}
+	// Explained variance must be descending.
+	for i := 1; i < len(p.Explained); i++ {
+		if p.Explained[i] > p.Explained[i-1] {
+			t.Fatal("explained variance not descending")
+		}
+	}
+}
+
+func TestPCATransformConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := twoClusters(rng, 40, 10, 3)
+	p := &PCA{Components: 2}
+	y, err := p.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2 := p.Transform(x)
+	if d := mat.Sub(y, y2).FrobNorm(); d > 1e-9 {
+		t.Fatalf("Transform deviates from FitTransform by %g", d)
+	}
+}
+
+func TestIPCAMatchesPCASubspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := twoClusters(rng, 80, 15, 4)
+	ip := &IPCA{Components: 2, BatchSize: 10}
+	y, err := ip.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.R != 80 || y.C != 2 {
+		t.Fatalf("shape %dx%d", y.R, y.C)
+	}
+	// IPCA should separate the clusters about as well as PCA.
+	if s := separationScore(y, labels); s < 2 {
+		t.Fatalf("IPCA separation %g too weak", s)
+	}
+	// And its singular values should approximate batch PCA's. The
+	// truncation to 2 components per batch makes this approximate (as in
+	// scikit-learn's IncrementalPCA), hence the loose tolerance.
+	p := &PCA{Components: 2}
+	if _, err := p.FitTransform(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ip.sv {
+		rel := math.Abs(ip.sv[i]-p.Explained[i]) / p.Explained[i]
+		if rel > 0.25 {
+			t.Fatalf("IPCA σ[%d]=%g vs PCA %g (rel %g)", i, ip.sv[i], p.Explained[i], rel)
+		}
+	}
+}
+
+func TestIPCASingleBatchMatchesPCAExactly(t *testing.T) {
+	// With the whole data in one batch, IPCA reduces to PCA exactly.
+	rng := rand.New(rand.NewSource(11))
+	x, _ := twoClusters(rng, 50, 12, 4)
+	ip := &IPCA{Components: 2, BatchSize: 50}
+	if _, err := ip.FitTransform(x); err != nil {
+		t.Fatal(err)
+	}
+	p := &PCA{Components: 2}
+	if _, err := p.FitTransform(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ip.sv {
+		if math.Abs(ip.sv[i]-p.Explained[i]) > 1e-8*(1+p.Explained[i]) {
+			t.Fatalf("σ[%d]: IPCA %g PCA %g", i, ip.sv[i], p.Explained[i])
+		}
+	}
+}
+
+func TestIPCAPartialFitIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, _ := twoClusters(rng, 60, 10, 3)
+	ip := &IPCA{Components: 2}
+	for i := 0; i < 60; i += 20 {
+		if err := ip.PartialFit(x.RowSlice(i, i+20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ip.n != 60 {
+		t.Fatalf("absorbed %d samples want 60", ip.n)
+	}
+	y := ip.Transform(x)
+	if y.R != 60 || y.C != 2 {
+		t.Fatalf("shape %dx%d", y.R, y.C)
+	}
+	if y.HasNaN() {
+		t.Fatal("IPCA transform produced NaN")
+	}
+}
+
+func TestTSNESeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := twoClusters(rng, 60, 10, 6)
+	ts := &TSNE{Components: 2, Perplexity: 10, Iters: 300, Seed: 1}
+	y, err := ts.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.HasNaN() {
+		t.Fatal("t-SNE produced NaN")
+	}
+	if s := separationScore(y, labels); s < 1.5 {
+		t.Fatalf("t-SNE separation %g too weak", s)
+	}
+}
+
+func TestTSNETooFewSamples(t *testing.T) {
+	ts := &TSNE{}
+	if _, err := ts.FitTransform(mat.NewDense(3, 4)); err != ErrTooFewSamples {
+		t.Fatalf("want ErrTooFewSamples, got %v", err)
+	}
+}
+
+func TestUMAPSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, labels := twoClusters(rng, 80, 10, 6)
+	u := &UMAP{NNeighbors: 10, Epochs: 100, Seed: 2}
+	y, err := u.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.R != 80 || y.C != 2 {
+		t.Fatalf("shape %dx%d", y.R, y.C)
+	}
+	if y.HasNaN() {
+		t.Fatal("UMAP produced NaN")
+	}
+	if s := separationScore(y, labels); s < 1.5 {
+		t.Fatalf("UMAP separation %g too weak", s)
+	}
+}
+
+func TestUMAPTooFewSamples(t *testing.T) {
+	u := &UMAP{}
+	if _, err := u.FitTransform(mat.NewDense(4, 3)); err != ErrTooFewSamples {
+		t.Fatalf("want ErrTooFewSamples, got %v", err)
+	}
+}
+
+func TestFitABParamsKnownValues(t *testing.T) {
+	// umap-learn's fitted constants for min_dist=0.1, spread=1.0 are
+	// a≈1.577, b≈0.895.
+	a, b := fitABParams(0.1, 1.0)
+	if math.Abs(a-1.577) > 0.15 {
+		t.Fatalf("a = %g want ≈1.577", a)
+	}
+	if math.Abs(b-0.895) > 0.08 {
+		t.Fatalf("b = %g want ≈0.895", b)
+	}
+}
+
+func TestSmoothKNNDistTarget(t *testing.T) {
+	nbrs := []neighbor{{1, 1.0}, {2, 1.5}, {3, 2.0}, {4, 2.5}, {5, 3.0}}
+	target := math.Log2(5)
+	sigma := smoothKNNDist(nbrs, 1.0, target)
+	var sum float64
+	for _, nb := range nbrs {
+		d := nb.dist - 1.0
+		if d < 0 {
+			d = 0
+		}
+		sum += math.Exp(-d / sigma)
+	}
+	if math.Abs(sum-target) > 1e-3 {
+		t.Fatalf("calibration off: sum=%g target=%g", sum, target)
+	}
+}
+
+func TestAlignedUMAPWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x1, labels := twoClusters(rng, 60, 12, 6)
+	// Window 2: same structure, slightly perturbed features.
+	x2 := x1.Clone()
+	for i := range x2.Data {
+		x2.Data[i] += 0.2 * rng.NormFloat64()
+	}
+	au := &AlignedUMAP{Base: UMAP{NNeighbors: 10, Epochs: 80, Seed: 3}, AlignmentWeight: 0.5}
+	y1, err := au.InitialFit(x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := au.PartialFit(x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(au.Embeddings) != 2 {
+		t.Fatalf("windows = %d want 2", len(au.Embeddings))
+	}
+	// Alignment: consecutive embeddings of (nearly) the same data must
+	// stay much closer than a fresh unaligned run would be.
+	drift := mat.Sub(y1, y2).FrobNorm() / float64(y1.R)
+	if drift > 1.0 {
+		t.Fatalf("aligned windows drifted %g per point", drift)
+	}
+	if s := separationScore(y2, labels); s < 1.0 {
+		t.Fatalf("aligned window separation %g too weak", s)
+	}
+}
+
+func TestAlignedUMAPShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x1, _ := twoClusters(rng, 40, 8, 4)
+	x2, _ := twoClusters(rng, 30, 8, 4)
+	au := &AlignedUMAP{Base: UMAP{NNeighbors: 8, Epochs: 40, Seed: 4}}
+	if _, err := au.InitialFit(x1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := au.PartialFit(x2); err != ErrWindowShape {
+		t.Fatalf("want ErrWindowShape, got %v", err)
+	}
+}
+
+func TestAlignedUMAPFirstCallIsInitial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, _ := twoClusters(rng, 40, 8, 4)
+	au := &AlignedUMAP{Base: UMAP{NNeighbors: 8, Epochs: 40, Seed: 5}}
+	if _, err := au.PartialFit(x); err != nil {
+		t.Fatal(err)
+	}
+	if len(au.Embeddings) != 1 {
+		t.Fatal("PartialFit on empty state should behave as InitialFit")
+	}
+}
+
+func BenchmarkPCA1000x1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := twoClusters(rng, 1000, 1000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &PCA{Components: 2}
+		if _, err := p.FitTransform(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUMAP200x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := twoClusters(rng, 200, 100, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := &UMAP{NNeighbors: 15, Epochs: 50, Seed: 1}
+		if _, err := u.FitTransform(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

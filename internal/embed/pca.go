@@ -1,0 +1,173 @@
+package embed
+
+import (
+	"math"
+
+	"imrdmd/internal/mat"
+	"imrdmd/internal/svd"
+)
+
+// PCA projects samples onto the leading principal components
+// (scikit-learn's PCA(n_components=k, svd_solver='auto') equivalent).
+type PCA struct {
+	Components int
+
+	mean []float64
+	// basis is d×k: the right singular vectors of the centered data.
+	basis *mat.Dense
+	// Explained holds the singular values of the kept components.
+	Explained []float64
+}
+
+// Name implements Embedder.
+func (p *PCA) Name() string { return "PCA" }
+
+// FitTransform implements Embedder.
+func (p *PCA) FitTransform(x *mat.Dense) (*mat.Dense, error) {
+	if x.R < 2 {
+		return nil, ErrTooFewSamples
+	}
+	k := p.Components
+	if k <= 0 {
+		k = 2
+	}
+	p.mean = columnMeans(x)
+	xc := centerRows(x, p.mean)
+	res := svd.Compute(xc)
+	if k > res.Rank() {
+		k = res.Rank()
+	}
+	tr := res.Truncate(k)
+	p.basis = tr.V
+	p.Explained = tr.S
+	// Scores = U Σ = Xc V.
+	return mat.Mul(xc, tr.V), nil
+}
+
+// Transform projects new samples with the fitted basis.
+func (p *PCA) Transform(x *mat.Dense) *mat.Dense {
+	return mat.Mul(centerRows(x, p.mean), p.basis)
+}
+
+// IPCA is incremental PCA after Ross et al., "Incremental learning for
+// robust visual tracking" (the algorithm scikit-learn's IncrementalPCA
+// implements): batches of samples update a running mean and a truncated
+// SVD, with an extra correction row accounting for the mean shift.
+type IPCA struct {
+	Components int
+	BatchSize  int // used by FitTransform's internal chunking; default 10
+
+	n     int // samples absorbed
+	mean  []float64
+	sv    []float64  // singular values (k)
+	basis *mat.Dense // d×k right singular vectors
+}
+
+// Name implements Embedder.
+func (p *IPCA) Name() string { return "IPCA" }
+
+// FitTransform chunks x into batches and PartialFits each, then projects
+// all of x — mirroring sklearn's fit(X).transform(X).
+func (p *IPCA) FitTransform(x *mat.Dense) (*mat.Dense, error) {
+	if x.R < 2 {
+		return nil, ErrTooFewSamples
+	}
+	bs := p.BatchSize
+	if bs <= 0 {
+		bs = 10
+	}
+	k := p.Components
+	if k <= 0 {
+		k = 2
+	}
+	if bs < k {
+		bs = k
+	}
+	for i := 0; i < x.R; i += bs {
+		hi := i + bs
+		if hi > x.R {
+			hi = x.R
+		}
+		if err := p.PartialFit(x.RowSlice(i, hi)); err != nil {
+			return nil, err
+		}
+	}
+	return p.Transform(x), nil
+}
+
+// PartialFit absorbs a batch of samples (m×d).
+func (p *IPCA) PartialFit(batch *mat.Dense) error {
+	if batch.R == 0 {
+		return nil
+	}
+	k := p.Components
+	if k <= 0 {
+		k = 2
+	}
+	m := batch.R
+	bmean := columnMeans(batch)
+	if p.n == 0 {
+		p.mean = bmean
+		xc := centerRows(batch, bmean)
+		// xc = U Σ Vᵀ (m×d); the feature-space basis is V.
+		res := svd.Compute(xc)
+		kk := k
+		if kk > res.Rank() {
+			kk = res.Rank()
+		}
+		tr := res.Truncate(kk)
+		p.basis = tr.V
+		p.sv = tr.S
+		p.n = m
+		return nil
+	}
+	nOld := float64(p.n)
+	nNew := float64(m)
+	nTot := nOld + nNew
+	// Updated mean.
+	newMean := make([]float64, len(p.mean))
+	for j := range newMean {
+		newMean[j] = (nOld*p.mean[j] + nNew*bmean[j]) / nTot
+	}
+	// Stack: [diag(sv)·basisᵀ ; batch − bmean ; √(n·m/(n+m))·(mean−bmean)].
+	kCur := len(p.sv)
+	d := batch.C
+	rows := kCur + m + 1
+	stack := mat.NewDense(rows, d)
+	for i := 0; i < kCur; i++ {
+		for j := 0; j < d; j++ {
+			stack.Set(i, j, p.sv[i]*p.basis.At(j, i))
+		}
+	}
+	for i := 0; i < m; i++ {
+		src := batch.Row(i)
+		dst := stack.Row(kCur + i)
+		for j := 0; j < d; j++ {
+			dst[j] = src[j] - bmean[j]
+		}
+	}
+	corr := math.Sqrt(nOld * nNew / nTot)
+	last := stack.Row(kCur + m)
+	for j := 0; j < d; j++ {
+		last[j] = corr * (p.mean[j] - bmean[j])
+	}
+	res := svd.Compute(stack)
+	kk := k
+	if kk > res.Rank() {
+		kk = res.Rank()
+	}
+	tr := res.Truncate(kk)
+	p.basis = tr.V
+	p.sv = tr.S
+	p.mean = newMean
+	p.n += m
+	return nil
+}
+
+// Transform projects samples onto the running components.
+func (p *IPCA) Transform(x *mat.Dense) *mat.Dense {
+	return mat.Mul(centerRows(x, p.mean), p.basis)
+}
+
+// Rank returns the number of components currently kept.
+func (p *IPCA) Rank() int { return len(p.sv) }

@@ -1,0 +1,223 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"imrdmd/internal/mat"
+)
+
+// TSNE is exact t-distributed stochastic neighbor embedding (van der
+// Maaten & Hinton), matching the reference implementation's structure:
+// perplexity-calibrated Gaussian affinities, early exaggeration, and
+// momentum gradient descent with adaptive gains. O(n²) per iteration —
+// exact, not Barnes–Hut — which covers the paper's comparison sizes.
+type TSNE struct {
+	Components   int     // output dims, default 2
+	Perplexity   float64 // default 30
+	LearningRate float64 // default 200 ("auto"-ish); the paper used 0.01 with sklearn's different scaling
+	Iters        int     // default 500
+	Exaggeration float64 // early exaggeration factor, default 12 for the first quarter of iters
+	Seed         int64
+}
+
+// Name implements Embedder.
+func (t *TSNE) Name() string { return "TSNE" }
+
+// FitTransform implements Embedder.
+func (t *TSNE) FitTransform(x *mat.Dense) (*mat.Dense, error) {
+	n := x.R
+	if n < 4 {
+		return nil, ErrTooFewSamples
+	}
+	k := t.Components
+	if k <= 0 {
+		k = 2
+	}
+	perp := t.Perplexity
+	if perp <= 0 {
+		perp = 30
+	}
+	if perp > float64(n-1)/3 {
+		perp = float64(n-1) / 3
+	}
+	lr := t.LearningRate
+	if lr <= 0 {
+		lr = math.Max(float64(n)/12, 50)
+	}
+	iters := t.Iters
+	if iters <= 0 {
+		iters = 500
+	}
+	exag := t.Exaggeration
+	if exag <= 0 {
+		exag = 12
+	}
+
+	p := affinities(x, perp)
+	// Symmetrize and normalize: P = (P+Pᵀ)/(2n), floored.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p.At(i, j) + p.At(j, i)) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p.Set(i, j, v)
+			p.Set(j, i, v)
+		}
+		p.Set(i, i, 0)
+	}
+
+	rng := rand.New(rand.NewSource(t.Seed + 1))
+	y := randn(rng, n, k, 1e-4)
+	vel := mat.NewDense(n, k)
+	gains := mat.NewDense(n, k)
+	for i := range gains.Data {
+		gains.Data[i] = 1
+	}
+
+	exagUntil := iters / 4
+	grad := mat.NewDense(n, k)
+	q := mat.NewDense(n, n)
+	for iter := 0; iter < iters; iter++ {
+		scale := 1.0
+		if iter < exagUntil {
+			scale = exag
+		}
+		// Student-t affinities in embedding space.
+		var qsum float64
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			for j := i + 1; j < n; j++ {
+				yj := y.Row(j)
+				var d2 float64
+				for c := 0; c < k; c++ {
+					d := yi[c] - yj[c]
+					d2 += d * d
+				}
+				w := 1 / (1 + d2)
+				q.Set(i, j, w)
+				q.Set(j, i, w)
+				qsum += 2 * w
+			}
+		}
+		if qsum < 1e-12 {
+			qsum = 1e-12
+		}
+		// Gradient: 4 Σ_j (p_ij·scale − q_ij/qsum) w_ij (y_i − y_j).
+		for i := range grad.Data {
+			grad.Data[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			gi := grad.Row(i)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				w := q.At(i, j)
+				coef := 4 * (scale*p.At(i, j) - w/qsum) * w
+				yj := y.Row(j)
+				for c := 0; c < k; c++ {
+					gi[c] += coef * (yi[c] - yj[c])
+				}
+			}
+		}
+		// Momentum + adaptive gains update.
+		mom := 0.5
+		if iter >= exagUntil {
+			mom = 0.8
+		}
+		for i := range y.Data {
+			g := grad.Data[i]
+			if (g > 0) == (vel.Data[i] > 0) {
+				gains.Data[i] *= 0.8
+			} else {
+				gains.Data[i] += 0.2
+			}
+			if gains.Data[i] < 0.01 {
+				gains.Data[i] = 0.01
+			}
+			vel.Data[i] = mom*vel.Data[i] - lr*gains.Data[i]*g
+			y.Data[i] += vel.Data[i]
+		}
+		centerInPlace(y)
+	}
+	return y, nil
+}
+
+// affinities builds the conditional Gaussian affinity matrix with a
+// per-point precision found by binary search to match the perplexity.
+func affinities(x *mat.Dense, perp float64) *mat.Dense {
+	n := x.R
+	d2 := pairwiseSqDist(x)
+	p := mat.NewDense(n, n)
+	logU := math.Log(perp)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		copy(row, d2.Row(i))
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		var h float64
+		for iter := 0; iter < 50; iter++ {
+			var sum, dsum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				w := math.Exp(-row[j] * beta)
+				sum += w
+				dsum += row[j] * w
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			h = math.Log(sum) + beta*dsum/sum
+			diff := h - logU
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 {
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		var sum float64
+		pr := p.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			pr[j] = math.Exp(-row[j] * beta)
+			sum += pr[j]
+		}
+		if sum < 1e-300 {
+			sum = 1e-300
+		}
+		for j := range pr {
+			pr[j] /= sum
+		}
+	}
+	return p
+}
+
+func centerInPlace(y *mat.Dense) {
+	mu := columnMeans(y)
+	for i := 0; i < y.R; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] -= mu[j]
+		}
+	}
+}

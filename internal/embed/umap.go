@@ -1,0 +1,330 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"imrdmd/internal/mat"
+)
+
+// UMAP is uniform manifold approximation and projection (McInnes, Healy,
+// Saul, Großberger), following umap-learn's algorithm: exact kNN graph,
+// smooth-kNN kernel calibration, fuzzy simplicial set union, and
+// edge-sampled SGD layout with negative sampling. Initialization is PCA
+// (umap-learn's spectral init approximated; documented in DESIGN.md).
+type UMAP struct {
+	Components   int     // default 2
+	NNeighbors   int     // default 15
+	MinDist      float64 // default 0.1
+	Spread       float64 // default 1.0
+	Epochs       int     // default 200
+	LearningRate float64 // default 1.0
+	NegSamples   int     // default 5
+	Seed         int64
+
+	// anchors, when non-nil, adds a quadratic pull of each point toward
+	// anchors[i] with weight AnchorWeight — the alignment regularization
+	// Aligned-UMAP adds between consecutive windows.
+	anchors      *mat.Dense
+	AnchorWeight float64
+}
+
+// Name implements Embedder.
+func (u *UMAP) Name() string { return "UMAP" }
+
+// edge is one weighted edge of the fuzzy graph.
+type edge struct {
+	a, b int
+	w    float64
+}
+
+// FitTransform implements Embedder.
+func (u *UMAP) FitTransform(x *mat.Dense) (*mat.Dense, error) {
+	n := x.R
+	if n < 5 {
+		return nil, ErrTooFewSamples
+	}
+	k := u.Components
+	if k <= 0 {
+		k = 2
+	}
+	nn := u.NNeighbors
+	if nn <= 0 {
+		nn = 15
+	}
+	if nn >= n {
+		nn = n - 1
+	}
+	minDist := u.MinDist
+	if minDist <= 0 {
+		minDist = 0.1
+	}
+	spread := u.Spread
+	if spread <= 0 {
+		spread = 1.0
+	}
+	epochs := u.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lr0 := u.LearningRate
+	if lr0 <= 0 {
+		lr0 = 1.0
+	}
+	neg := u.NegSamples
+	if neg <= 0 {
+		neg = 5
+	}
+
+	edges := fuzzyGraph(x, nn)
+	a, b := fitABParams(minDist, spread)
+
+	// Initialization: PCA scores scaled to ~10 units (umap-learn scales
+	// its spectral init similarly), or the anchor positions when aligned.
+	var y *mat.Dense
+	if u.anchors != nil {
+		y = u.anchors.Clone()
+	} else {
+		pca := &PCA{Components: k}
+		scores, err := pca.FitTransform(x)
+		if err != nil {
+			return nil, err
+		}
+		y = scores
+		rescaleTo(y, 10)
+		rng := rand.New(rand.NewSource(u.Seed + 7))
+		for i := range y.Data {
+			y.Data[i] += rng.NormFloat64() * 1e-4
+		}
+	}
+
+	// Edge sampling schedule: edge e fires every maxW/w epochs.
+	var maxW float64
+	for _, e := range edges {
+		if e.w > maxW {
+			maxW = e.w
+		}
+	}
+	if maxW == 0 {
+		return y, nil
+	}
+	nextFire := make([]float64, len(edges))
+	period := make([]float64, len(edges))
+	for i, e := range edges {
+		period[i] = maxW / e.w
+		nextFire[i] = period[i]
+	}
+
+	rng := rand.New(rand.NewSource(u.Seed + 13))
+	const clip = 4.0
+	for epoch := 0; epoch < epochs; epoch++ {
+		alpha := lr0 * (1 - float64(epoch)/float64(epochs))
+		for ei, e := range edges {
+			if nextFire[ei] > float64(epoch+1) {
+				continue
+			}
+			nextFire[ei] += period[ei]
+			yi := y.Row(e.a)
+			yj := y.Row(e.b)
+			// Attractive move along the edge.
+			d2 := rowSqDist(yi, yj)
+			if d2 > 0 {
+				gradCoef := -2 * a * b * math.Pow(d2, b-1) / (1 + a*math.Pow(d2, b))
+				for c := 0; c < k; c++ {
+					g := clamp(gradCoef*(yi[c]-yj[c]), clip)
+					yi[c] += alpha * g
+					yj[c] -= alpha * g
+				}
+			}
+			// Negative samples repel.
+			for s := 0; s < neg; s++ {
+				j := rng.Intn(n)
+				if j == e.a {
+					continue
+				}
+				yn := y.Row(j)
+				d2 := rowSqDist(yi, yn)
+				gradCoef := 2 * b / ((0.001 + d2) * (1 + a*math.Pow(d2, b)))
+				for c := 0; c < k; c++ {
+					g := clamp(gradCoef*(yi[c]-yn[c]), clip)
+					yi[c] += alpha * g
+				}
+			}
+			// Alignment spring toward the previous window's position.
+			if u.anchors != nil && u.AnchorWeight > 0 {
+				ai := u.anchors.Row(e.a)
+				for c := 0; c < k; c++ {
+					yi[c] += alpha * u.AnchorWeight * (ai[c] - yi[c])
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// fuzzyGraph builds the symmetrized fuzzy simplicial set over the exact
+// kNN graph: per-point (ρ, σ) calibration to log2(k) total membership,
+// then the probabilistic t-conorm union w∪ = w + wᵀ − w∘wᵀ.
+func fuzzyGraph(x *mat.Dense, nn int) []edge {
+	n := x.R
+	knn := kNearest(x, nn)
+	target := math.Log2(float64(nn))
+	type key struct{ a, b int }
+	weights := make(map[key]float64, n*nn)
+	for i, nbrs := range knn {
+		if len(nbrs) == 0 {
+			continue
+		}
+		rho := nbrs[0].dist
+		sigma := smoothKNNDist(nbrs, rho, target)
+		for _, nb := range nbrs {
+			d := nb.dist - rho
+			if d < 0 {
+				d = 0
+			}
+			w := math.Exp(-d / sigma)
+			weights[key{i, nb.idx}] = w
+		}
+	}
+	var edges []edge
+	seen := make(map[key]bool, len(weights))
+	for kk, w := range weights {
+		if seen[kk] {
+			continue
+		}
+		rev := key{kk.b, kk.a}
+		seen[kk], seen[rev] = true, true
+		wr := weights[rev]
+		union := w + wr - w*wr
+		if union > 1e-8 {
+			edges = append(edges, edge{a: kk.a, b: kk.b, w: union})
+		}
+	}
+	return edges
+}
+
+// smoothKNNDist binary-searches σ so that Σ exp(−max(d−ρ,0)/σ) = target.
+func smoothKNNDist(nbrs []neighbor, rho, target float64) float64 {
+	lo, hi := 0.0, math.Inf(1)
+	sigma := 1.0
+	for iter := 0; iter < 64; iter++ {
+		var sum float64
+		for _, nb := range nbrs {
+			d := nb.dist - rho
+			if d <= 0 {
+				sum++
+				continue
+			}
+			sum += math.Exp(-d / sigma)
+		}
+		if math.Abs(sum-target) < 1e-5 {
+			break
+		}
+		if sum > target {
+			hi = sigma
+			sigma = (lo + hi) / 2
+		} else {
+			lo = sigma
+			if math.IsInf(hi, 1) {
+				sigma *= 2
+			} else {
+				sigma = (lo + hi) / 2
+			}
+		}
+	}
+	if sigma <= 0 || math.IsNaN(sigma) {
+		sigma = 1e-3
+	}
+	return sigma
+}
+
+// fitABParams fits the rational kernel 1/(1+a·x^{2b}) to the target curve
+// (1 for x ≤ minDist, exp(−(x−minDist)/spread) beyond) by Gauss–Newton on
+// sampled points — the same curve-fit umap-learn does with scipy.
+func fitABParams(minDist, spread float64) (a, b float64) {
+	const samples = 300
+	xs := make([]float64, samples)
+	ys := make([]float64, samples)
+	for i := 0; i < samples; i++ {
+		x := 3 * spread * float64(i+1) / samples
+		xs[i] = x
+		if x <= minDist {
+			ys[i] = 1
+		} else {
+			ys[i] = math.Exp(-(x - minDist) / spread)
+		}
+	}
+	a, b = 1.0, 1.0
+	for iter := 0; iter < 100; iter++ {
+		// Residuals and Jacobian of f(x) = 1/(1+a x^{2b}).
+		var jtj [2][2]float64
+		var jtr [2]float64
+		for i := range xs {
+			x2b := math.Pow(xs[i], 2*b)
+			den := 1 + a*x2b
+			f := 1 / den
+			r := ys[i] - f
+			dfda := -x2b / (den * den)
+			dfdb := -2 * a * x2b * math.Log(xs[i]) / (den * den)
+			jtj[0][0] += dfda * dfda
+			jtj[0][1] += dfda * dfdb
+			jtj[1][0] += dfda * dfdb
+			jtj[1][1] += dfdb * dfdb
+			jtr[0] += dfda * r
+			jtr[1] += dfdb * r
+		}
+		// Levenberg damping keeps the 2×2 solve stable.
+		lam := 1e-6 * (jtj[0][0] + jtj[1][1])
+		jtj[0][0] += lam
+		jtj[1][1] += lam
+		det := jtj[0][0]*jtj[1][1] - jtj[0][1]*jtj[1][0]
+		if math.Abs(det) < 1e-300 {
+			break
+		}
+		da := (jtr[0]*jtj[1][1] - jtr[1]*jtj[0][1]) / det
+		db := (jtr[1]*jtj[0][0] - jtr[0]*jtj[1][0]) / det
+		a += da
+		b += db
+		if a <= 0 {
+			a = 1e-3
+		}
+		if b <= 0 {
+			b = 1e-3
+		}
+		if math.Abs(da)+math.Abs(db) < 1e-9 {
+			break
+		}
+	}
+	return a, b
+}
+
+func rowSqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clamp(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// rescaleTo scales y so its max absolute coordinate is `limit`.
+func rescaleTo(y *mat.Dense, limit float64) {
+	m := y.MaxAbs()
+	if m == 0 {
+		return
+	}
+	f := limit / m
+	for i := range y.Data {
+		y.Data[i] *= f
+	}
+}

@@ -1,0 +1,215 @@
+package joblog
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SimConfig parameterizes the scheduler simulator.
+type SimConfig struct {
+	NumNodes int
+	Horizon  float64 // seconds of trace to generate
+	Seed     int64
+
+	// Projects to draw from; weights need not be normalized. Empty uses a
+	// small default mix.
+	Projects []ProjectMix
+
+	// MeanInterarrival is the mean seconds between job submissions
+	// (exponential). Default 600.
+	MeanInterarrival float64
+	// MeanDuration is the mean job wall time in seconds (exponential,
+	// clipped to [MinDuration, Horizon/2]). Default 4 hours.
+	MeanDuration float64
+	// MinDuration floors job length. Default 300 s.
+	MinDuration float64
+}
+
+// ProjectMix weights a project's share of submissions and its typical
+// allocation size.
+type ProjectMix struct {
+	Name     string
+	Weight   float64
+	MeanSize int // mean nodes per job (geometric-ish)
+	MaxSize  int // hard cap; 0 = quarter of the machine
+}
+
+func defaultProjects(numNodes int) []ProjectMix {
+	quarter := numNodes / 4
+	if quarter < 1 {
+		quarter = 1
+	}
+	return []ProjectMix{
+		{Name: "ClimateSim", Weight: 3, MeanSize: numNodes / 8, MaxSize: quarter},
+		{Name: "LatticeQCD", Weight: 2, MeanSize: numNodes / 16, MaxSize: quarter},
+		{Name: "Genomics", Weight: 2, MeanSize: numNodes / 32, MaxSize: quarter},
+		{Name: "MatSci", Weight: 3, MeanSize: numNodes / 24, MaxSize: quarter},
+	}
+}
+
+// Simulate produces a schedule with a first-fit contiguous allocator:
+// arrivals are Poisson, sizes per-project, durations exponential, and
+// allocations prefer contiguous node ranges (locality — nodes in close
+// proximity show similar z-scores in the paper's Fig. 4).
+func Simulate(cfg SimConfig) *Schedule {
+	if cfg.NumNodes <= 0 || cfg.Horizon <= 0 {
+		return &Schedule{NumNodes: cfg.NumNodes, Horizon: cfg.Horizon}
+	}
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = 600
+	}
+	if cfg.MeanDuration <= 0 {
+		cfg.MeanDuration = 4 * 3600
+	}
+	if cfg.MinDuration <= 0 {
+		cfg.MinDuration = 300
+	}
+	projects := cfg.Projects
+	if len(projects) == 0 {
+		projects = defaultProjects(cfg.NumNodes)
+	}
+	var wsum float64
+	for _, p := range projects {
+		wsum += p.Weight
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{NumNodes: cfg.NumNodes, Horizon: cfg.Horizon}
+
+	// freeAt[n] = time when node n becomes free.
+	freeAt := make([]float64, cfg.NumNodes)
+	now := 0.0
+	id := 1
+	for {
+		now += rng.ExpFloat64() * cfg.MeanInterarrival
+		if now >= cfg.Horizon {
+			break
+		}
+		// Pick a project.
+		var proj ProjectMix
+		r := rng.Float64() * wsum
+		for _, p := range projects {
+			if r -= p.Weight; r <= 0 {
+				proj = p
+				break
+			}
+		}
+		if proj.Name == "" {
+			proj = projects[len(projects)-1]
+		}
+		size := sampleSize(rng, proj, cfg.NumNodes)
+		dur := cfg.MinDuration + rng.ExpFloat64()*cfg.MeanDuration
+		if maxDur := cfg.Horizon / 2; dur > maxDur {
+			dur = maxDur
+		}
+		nodes := allocate(freeAt, now, size)
+		if nodes == nil {
+			continue // machine busy; job abandoned (backfill out of scope)
+		}
+		end := now + dur
+		if end > cfg.Horizon {
+			end = cfg.Horizon
+		}
+		if end <= now {
+			continue
+		}
+		for _, n := range nodes {
+			freeAt[n] = end
+		}
+		s.Jobs = append(s.Jobs, Job{
+			ID: id, Project: proj.Name, Queue: queueFor(size, cfg.NumNodes),
+			Nodes: nodes, Start: now, End: end,
+		})
+		id++
+	}
+	return s
+}
+
+func sampleSize(rng *rand.Rand, p ProjectMix, numNodes int) int {
+	mean := p.MeanSize
+	if mean < 1 {
+		mean = 1
+	}
+	size := int(math.Round(rng.ExpFloat64() * float64(mean)))
+	if size < 1 {
+		size = 1
+	}
+	maxSize := p.MaxSize
+	if maxSize <= 0 {
+		maxSize = numNodes / 4
+		if maxSize < 1 {
+			maxSize = 1
+		}
+	}
+	if size > maxSize {
+		size = maxSize
+	}
+	if size > numNodes {
+		size = numNodes
+	}
+	return size
+}
+
+// queueFor mimics facility queue naming by allocation size.
+func queueFor(size, numNodes int) string {
+	switch {
+	case size >= numNodes/2:
+		return "large"
+	case size >= numNodes/8:
+		return "medium"
+	default:
+		return "small"
+	}
+}
+
+// allocate finds `size` nodes free at time now, preferring the longest
+// contiguous runs (first-fit over runs sorted by start index). Returns
+// nil when not enough nodes are free.
+func allocate(freeAt []float64, now float64, size int) []int {
+	free := make([]int, 0, len(freeAt))
+	for n, t := range freeAt {
+		if t <= now {
+			free = append(free, n)
+		}
+	}
+	if len(free) < size {
+		return nil
+	}
+	// Find contiguous runs in the free list.
+	type run struct{ start, length int }
+	var runs []run
+	cur := run{start: free[0], length: 1}
+	for i := 1; i < len(free); i++ {
+		if free[i] == free[i-1]+1 {
+			cur.length++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = run{start: free[i], length: 1}
+	}
+	runs = append(runs, cur)
+	// First-fit: first run that holds the whole job.
+	for _, r := range runs {
+		if r.length >= size {
+			nodes := make([]int, size)
+			for i := range nodes {
+				nodes[i] = r.start + i
+			}
+			return nodes
+		}
+	}
+	// Fragmented: take the largest runs first.
+	sort.Slice(runs, func(a, b int) bool { return runs[a].length > runs[b].length })
+	nodes := make([]int, 0, size)
+	for _, r := range runs {
+		for i := 0; i < r.length && len(nodes) < size; i++ {
+			nodes = append(nodes, r.start+i)
+		}
+		if len(nodes) == size {
+			break
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
+}

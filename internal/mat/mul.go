@@ -1,0 +1,235 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the flop count above which Mul fans work out to
+// worker goroutines. Below it the goroutine overhead dominates.
+const parallelThreshold = 1 << 18
+
+// Mul returns a*b using a blocked i-k-j kernel, parallelized over row
+// bands when the problem is large enough.
+func Mul(a, b *Dense) *Dense {
+	if a.C != b.R {
+		panic("mat: Mul inner dimension mismatch")
+	}
+	out := NewDense(a.R, b.C)
+	mulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b, reusing dst's storage. dst must be a.R×b.C
+// and must not alias a or b.
+func MulInto(dst, a, b *Dense) {
+	if a.C != b.R {
+		panic("mat: MulInto inner dimension mismatch")
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic("mat: MulInto output shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	mulInto(dst, a, b)
+}
+
+func mulInto(out, a, b *Dense) {
+	flops := a.R * a.C * b.C
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers <= 1 || a.R < 2 {
+		mulRange(out, a, b, 0, a.R)
+		return
+	}
+	if workers > a.R {
+		workers = a.R
+	}
+	var wg sync.WaitGroup
+	chunk := (a.R + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.R)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo,hi) of out += a*b with an ikj loop order so
+// the inner loop streams through contiguous rows of b and out.
+func mulRange(out, a, b *Dense, lo, hi int) {
+	n := b.C
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// MulT returns aᵀ*b without materializing the transpose.
+func MulT(a, b *Dense) *Dense {
+	if a.R != b.R {
+		panic("mat: MulT dimension mismatch")
+	}
+	out := NewDense(a.C, b.C)
+	workers := runtime.GOMAXPROCS(0)
+	flops := a.R * a.C * b.C
+	if flops < parallelThreshold || workers <= 1 || a.C < 2 {
+		mulTRange(out, a, b, 0, a.C)
+		return out
+	}
+	if workers > a.C {
+		workers = a.C
+	}
+	var wg sync.WaitGroup
+	chunk := (a.C + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.C)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulTRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// mulTRange computes rows [lo,hi) of out = aᵀb. Row i of the output is
+// Σ_k a[k][i] * b[k][:], streaming both a and b row-wise.
+func mulTRange(out, a, b *Dense, lo, hi int) {
+	n := b.C
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : k*n+n]
+		for i := lo; i < hi; i++ {
+			aki := arow[i]
+			if aki == 0 {
+				continue
+			}
+			orow := out.Data[i*n : i*n+n]
+			for j, bkj := range brow {
+				orow[j] += aki * bkj
+			}
+		}
+	}
+}
+
+// MulVec returns a*x for a vector x of length a.C.
+func MulVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.C {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.R)
+	for i := 0; i < a.R; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Gram returns mᵀm (C×C) if byCols, else m mᵀ (R×R). The result is
+// symmetric positive semidefinite; only the upper triangle is computed
+// and mirrored.
+func Gram(m *Dense, byCols bool) *Dense {
+	if byCols {
+		return gramCols(m)
+	}
+	return gramRows(m)
+}
+
+func gramRows(m *Dense) *Dense {
+	n := m.R
+	out := NewDense(n, n)
+	workers := runtime.GOMAXPROCS(0)
+	if n*n*m.C < parallelThreshold || workers <= 1 {
+		gramRowsRange(out, m, 0, n)
+	} else {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, n)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				gramRowsRange(out, m, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			out.Data[i*n+j] = out.Data[j*n+i]
+		}
+	}
+	return out
+}
+
+func gramRowsRange(out, m *Dense, lo, hi int) {
+	n := m.R
+	for i := lo; i < hi; i++ {
+		ri := m.Row(i)
+		for j := i; j < n; j++ {
+			rj := m.Row(j)
+			var s float64
+			for k, v := range ri {
+				s += v * rj[k]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+}
+
+func gramCols(m *Dense) *Dense {
+	// mᵀm accumulated row-by-row of m: for each row r, out += r rᵀ.
+	n := m.C
+	out := NewDense(n, n)
+	for k := 0; k < m.R; k++ {
+		row := m.Row(k)
+		for i := 0; i < n; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			orow := out.Data[i*n : i*n+n]
+			for j := i; j < n; j++ {
+				orow[j] += ri * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			out.Data[i*n+j] = out.Data[j*n+i]
+		}
+	}
+	return out
+}

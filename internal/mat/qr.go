@@ -1,0 +1,116 @@
+package mat
+
+import "math"
+
+// QR holds a thin (economy) QR factorization A = Q R with Q m×n
+// column-orthonormal and R n×n upper triangular, for m ≥ n.
+type QR struct {
+	Q *Dense
+	R *Dense
+}
+
+// QRFactor computes the thin QR factorization of a (m×n, m ≥ n) by
+// modified Gram–Schmidt with one re-orthogonalization pass. MGS with
+// re-orthogonalization is numerically comparable to Householder for the
+// well- to moderately-conditioned matrices this package sees, and keeps
+// Q explicit, which the incremental-SVD layer needs.
+func QRFactor(a *Dense) *QR {
+	m, n := a.R, a.C
+	if m < n {
+		panic("mat: QRFactor requires rows >= cols")
+	}
+	q := a.Clone()
+	r := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		// Two MGS passes against previous columns; the second pass
+		// re-orthogonalizes and its corrections accumulate into R.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				dot := colDot(q, i, j)
+				r.Data[i*n+j] += dot
+				colAxpy(q, -dot, i, j)
+			}
+		}
+		nrm := colNorm(q, j)
+		r.Data[j*n+j] = nrm
+		if nrm > 0 {
+			colScale(q, j, 1/nrm)
+		}
+	}
+	return &QR{Q: q, R: r}
+}
+
+// colDot returns column i · column j of m.
+func colDot(m *Dense, i, j int) float64 {
+	var s float64
+	for k := 0; k < m.R; k++ {
+		row := m.Data[k*m.C:]
+		s += row[i] * row[j]
+	}
+	return s
+}
+
+// colAxpy does column j += alpha * column i.
+func colAxpy(m *Dense, alpha float64, i, j int) {
+	for k := 0; k < m.R; k++ {
+		row := m.Data[k*m.C:]
+		row[j] += alpha * row[i]
+	}
+}
+
+func colNorm(m *Dense, j int) float64 {
+	var s float64
+	for k := 0; k < m.R; k++ {
+		v := m.Data[k*m.C+j]
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func colScale(m *Dense, j int, s float64) {
+	for k := 0; k < m.R; k++ {
+		m.Data[k*m.C+j] *= s
+	}
+}
+
+// SolveUpper solves R x = b for upper-triangular R (n×n). Zero (or tiny)
+// pivots are treated as rank deficiencies: the corresponding solution
+// component is set to zero, giving a basic least-norm-flavored solution
+// rather than NaNs.
+func SolveUpper(r *Dense, b []float64) []float64 {
+	n := r.R
+	x := make([]float64, n)
+	tol := 1e-13 * r.MaxAbs()
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := r.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		if math.Abs(row[i]) <= tol {
+			x[i] = 0
+			continue
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// LstSq solves min ‖Ax − b‖₂ via thin QR: x = R⁻¹ Qᵀ b. A must have
+// rows ≥ cols.
+func LstSq(a *Dense, b []float64) []float64 {
+	if len(b) != a.R {
+		panic("mat: LstSq dimension mismatch")
+	}
+	qr := QRFactor(a)
+	// qtb = Qᵀ b
+	qtb := make([]float64, a.C)
+	for j := 0; j < a.C; j++ {
+		var s float64
+		for i := 0; i < a.R; i++ {
+			s += qr.Q.Data[i*a.C+j] * b[i]
+		}
+		qtb[j] = s
+	}
+	return SolveUpper(qr.R, qtb)
+}

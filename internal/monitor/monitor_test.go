@@ -1,0 +1,216 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+)
+
+// stepped builds a P×T matrix around 50°C where `hot` sensors jump by
+// +delta at column `at`, and `cold` sensors drop by −delta at the same
+// point.
+func stepped(seed int64, p, t, at int, hot, cold []int, delta float64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.NewDense(p, t)
+	isHot := map[int]bool{}
+	isCold := map[int]bool{}
+	for _, i := range hot {
+		isHot[i] = true
+	}
+	for _, i := range cold {
+		isCold[i] = true
+	}
+	for i := 0; i < p; i++ {
+		// Bounded uniform base offsets keep quiet sensors' z-scores below
+		// ±√3 deterministically (z-scores are scale-invariant, so any
+		// Gaussian spread would legitimately exceed 2 somewhere).
+		base := 50 + 2*(rng.Float64()-0.5)
+		ph := rng.Float64() * 2 * math.Pi
+		for k := 0; k < t; k++ {
+			v := base + math.Sin(2*math.Pi*float64(k)/64+ph) + 0.3*rng.NormFloat64()
+			if k >= at {
+				if isHot[i] {
+					v += delta
+				}
+				if isCold[i] {
+					v -= delta
+				}
+			}
+			m.Set(i, k, v)
+		}
+	}
+	return m
+}
+
+func defaultCfg() Config {
+	return Config{
+		Opts:       core.Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true},
+		BaselineLo: 45, BaselineHi: 55,
+	}
+}
+
+func TestMonitorLifecycleErrors(t *testing.T) {
+	m := New(defaultCfg())
+	if _, err := m.Observe(mat.NewDense(4, 8)); err == nil {
+		t.Fatal("Observe before Start must fail")
+	}
+	data := stepped(1, 16, 256, 9999, nil, nil, 0)
+	if err := m.Start(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(data); err == nil {
+		t.Fatal("second Start must fail")
+	}
+}
+
+func TestMonitorBaselineTooNarrow(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.BaselineLo, cfg.BaselineHi = 500, 600 // impossible band
+	m := New(cfg)
+	data := stepped(2, 8, 256, 9999, nil, nil, 0)
+	if err := m.Start(data); err == nil {
+		t.Fatal("empty baseline must fail Start")
+	}
+}
+
+func TestMonitorDetectsHotAndCold(t *testing.T) {
+	// 24 sensors; sensor 3 turns hot and sensor 7 turns cold at step 256.
+	data := stepped(3, 24, 512, 256, []int{3}, []int{7}, 12)
+	m := New(defaultCfg())
+	if err := m.Start(data.ColSlice(0, 256)); err != nil {
+		t.Fatal(err)
+	}
+	var hotSeen, coldSeen bool
+	for pos := 256; pos < 512; pos += 64 {
+		alerts, err := m.Observe(data.ColSlice(pos, pos+64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range alerts {
+			switch {
+			case a.Sensor == 3 && a.Kind == Hot:
+				hotSeen = true
+			case a.Sensor == 7 && a.Kind == Cold:
+				coldSeen = true
+			case a.Sensor != 3 && a.Sensor != 7:
+				t.Fatalf("false alert: %v", a)
+			}
+		}
+	}
+	if !hotSeen {
+		t.Fatal("hot sensor 3 never alerted")
+	}
+	if !coldSeen {
+		t.Fatal("cold sensor 7 never alerted")
+	}
+}
+
+func TestMonitorDebounce(t *testing.T) {
+	data := stepped(4, 16, 512, 256, []int{5}, nil, 12)
+	cfg := defaultCfg()
+	cfg.MinConsecutive = 3
+	m := New(cfg)
+	if err := m.Start(data.ColSlice(0, 256)); err != nil {
+		t.Fatal(err)
+	}
+	fired := map[int]int{} // update index → alert count for sensor 5
+	update := 0
+	for pos := 256; pos < 512; pos += 64 {
+		update++
+		alerts, err := m.Observe(data.ColSlice(pos, pos+64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range alerts {
+			if a.Sensor == 5 {
+				fired[update]++
+				if a.Consecutive < cfg.MinConsecutive {
+					t.Fatalf("alert fired before debounce: %v", a)
+				}
+			}
+		}
+	}
+	if len(fired) == 0 {
+		t.Fatal("debounced alert never fired")
+	}
+	// The first two breaching updates must not alert.
+	if fired[1] != 0 || fired[2] != 0 {
+		t.Fatalf("alerts fired during debounce window: %v", fired)
+	}
+}
+
+func TestMonitorQuietStreamNoAlerts(t *testing.T) {
+	data := stepped(5, 16, 512, 9999, nil, nil, 0)
+	m := New(defaultCfg())
+	if err := m.Start(data.ColSlice(0, 256)); err != nil {
+		t.Fatal(err)
+	}
+	for pos := 256; pos < 512; pos += 128 {
+		alerts, err := m.Observe(data.ColSlice(pos, pos+128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alerts) != 0 {
+			t.Fatalf("quiet stream produced alerts: %v", alerts)
+		}
+	}
+}
+
+func TestMonitorRecoveryResetsStreak(t *testing.T) {
+	// Hot between steps 256–384, back to normal after.
+	data := stepped(6, 16, 640, 256, []int{2}, nil, 12)
+	// Undo the step after 384 by rebuilding columns 384+ as normal.
+	normal := stepped(6, 16, 640, 9999, nil, nil, 0)
+	for k := 384; k < 640; k++ {
+		for i := 0; i < 16; i++ {
+			data.Set(i, k, normal.At(i, k))
+		}
+	}
+	cfg := defaultCfg()
+	cfg.EvalWindow = 128 // recency horizon: judge only the newest data
+	m := New(cfg)
+	if err := m.Start(data.ColSlice(0, 256)); err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := m.Observe(data.ColSlice(256, 384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundHot := false
+	for _, a := range alerts {
+		if a.Sensor == 2 && a.Kind == Hot {
+			foundHot = true
+		}
+	}
+	if !foundHot {
+		t.Fatal("hot phase not detected")
+	}
+	// After enough normal data the windowed z-score must fall back and
+	// alerts for sensor 2 must stop.
+	var last []Alert
+	for pos := 384; pos < 640; pos += 128 {
+		last, err = m.Observe(data.ColSlice(pos, pos+128))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range last {
+		if a.Sensor == 2 && a.Kind == Hot {
+			t.Fatalf("alert persists after recovery: %v", a)
+		}
+	}
+	if m.Steps() != 640 {
+		t.Fatalf("Steps = %d want 640", m.Steps())
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{Sensor: 3, Kind: Hot, Z: 2.5, Step: 100, Consecutive: 2}
+	s := a.String()
+	if s == "" || Hot.String() != "hot" || Cold.String() != "cold" {
+		t.Fatal("alert formatting broken")
+	}
+}

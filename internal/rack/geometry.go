@@ -1,0 +1,211 @@
+package rack
+
+import "fmt"
+
+// NodeRef identifies one node in the hierarchy. Index is the dense
+// 0-based machine-wide index in enumeration order, which is the row order
+// used by the telemetry matrices.
+type NodeRef struct {
+	Index   int
+	Row     int
+	Rack    int
+	Cabinet int
+	Slot    int
+	Blade   int
+	Node    int
+}
+
+// ID returns the Cray-style component name, e.g. "c3-0c1s5n2" for rack 3
+// in row 0, cabinet 1, slot 5, node 2 (the blade index is folded into the
+// slot position as on real XC systems when there is one blade per slot,
+// and written explicitly otherwise).
+func (n NodeRef) ID() string {
+	return fmt.Sprintf("c%d-%dc%ds%db%dn%d", n.Rack, n.Row, n.Cabinet, n.Slot, n.Blade, n.Node)
+}
+
+// Enumerate lists every node in deterministic order: rows, racks,
+// cabinets, slots, blades, nodes.
+func (l *Layout) Enumerate() []NodeRef {
+	out := make([]NodeRef, 0, l.TotalNodes())
+	idx := 0
+	for row := l.RowFrom; row <= l.RowTo; row++ {
+		for rk := l.RackFrom; rk <= l.RackTo; rk++ {
+			for cb := l.Cabinets.From; cb <= l.Cabinets.To; cb++ {
+				for sl := l.Slots.From; sl <= l.Slots.To; sl++ {
+					for bl := l.Blades.From; bl <= l.Blades.To; bl++ {
+						for nd := l.Nodes.From; nd <= l.Nodes.To; nd++ {
+							out = append(out, NodeRef{
+								Index: idx, Row: row, Rack: rk,
+								Cabinet: cb, Slot: sl, Blade: bl, Node: nd,
+							})
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NodeIndex returns the dense index for hierarchy coordinates, inverse of
+// Enumerate's ordering. It returns -1 for out-of-range coordinates.
+func (l *Layout) NodeIndex(row, rk, cb, sl, bl, nd int) int {
+	if row < l.RowFrom || row > l.RowTo || rk < l.RackFrom || rk > l.RackTo ||
+		cb < l.Cabinets.From || cb > l.Cabinets.To ||
+		sl < l.Slots.From || sl > l.Slots.To ||
+		bl < l.Blades.From || bl > l.Blades.To ||
+		nd < l.Nodes.From || nd > l.Nodes.To {
+		return -1
+	}
+	idx := row - l.RowFrom
+	idx = idx*l.RacksPerRow() + (rk - l.RackFrom)
+	idx = idx*l.Cabinets.Count() + (cb - l.Cabinets.From)
+	idx = idx*l.Slots.Count() + (sl - l.Slots.From)
+	idx = idx*l.Blades.Count() + (bl - l.Blades.From)
+	idx = idx*l.Nodes.Count() + (nd - l.Nodes.From)
+	return idx
+}
+
+// Rect is an axis-aligned box in normalized layout units.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Geometry is the computed placement of every rack and node, ready for
+// rendering. Coordinates are in abstract units; the renderer scales them.
+type Geometry struct {
+	Width, Height float64
+	Racks         []RackBox
+	NodeRects     []Rect // indexed by NodeRef.Index
+}
+
+// RackBox is a rack outline with its identifying coordinates.
+type RackBox struct {
+	Row, Rack int
+	Box       Rect
+}
+
+// rackGap and the per-level paddings (in fractions of the cell) keep the
+// nested boxes visually separated.
+const (
+	rackW    = 100.0
+	rackH    = 160.0
+	rackGap  = 12.0
+	innerPad = 2.0
+)
+
+// Geometry computes the normalized placement honoring the alignments.
+func (l *Layout) Geometry() *Geometry {
+	nRows, nRacks := l.NumRows(), l.RacksPerRow()
+	g := &Geometry{
+		Width:     float64(nRacks)*(rackW+rackGap) + rackGap,
+		Height:    float64(nRows)*(rackH+rackGap) + rackGap,
+		NodeRects: make([]Rect, l.TotalNodes()),
+	}
+	for row := 0; row < nRows; row++ {
+		// Row alignment 2 (bottom-to-top) flips the vertical order of
+		// rack rows; default fills top-to-bottom.
+		ry := row
+		if l.RackRowAlign == BottomToTop {
+			ry = nRows - 1 - row
+		}
+		for rk := 0; rk < nRacks; rk++ {
+			rx := rk
+			if l.RackColAlign == RightToLeft {
+				rx = nRacks - 1 - rk
+			}
+			box := Rect{
+				X: rackGap + float64(rx)*(rackW+rackGap),
+				Y: rackGap + float64(ry)*(rackH+rackGap),
+				W: rackW,
+				H: rackH,
+			}
+			g.Racks = append(g.Racks, RackBox{Row: l.RowFrom + row, Rack: l.RackFrom + rk, Box: box})
+			l.placeRack(g, box, row, rk)
+		}
+	}
+	return g
+}
+
+// placeRack subdivides one rack box into cabinet/slot/blade/node cells.
+// Cabinets stack vertically, slots split horizontally, blades vertically,
+// nodes horizontally — with each level's alignment able to flip its
+// direction. This matches the visual convention of the paper's XC40 and
+// Apollo figures.
+func (l *Layout) placeRack(g *Geometry, box Rect, row, rk int) {
+	nc, ns, nb, nn := l.Cabinets.Count(), l.Slots.Count(), l.Blades.Count(), l.Nodes.Count()
+	ch := (box.H - innerPad*float64(nc+1)) / float64(nc)
+	for c := 0; c < nc; c++ {
+		cy := c
+		// Bottom-to-top cabinets (the XC40 convention).
+		if l.Cabinets.RowAlign == BottomToTop || l.Cabinets.ColAlign == BottomToTop {
+			cy = nc - 1 - c
+		}
+		cbox := Rect{
+			X: box.X + innerPad,
+			Y: box.Y + innerPad + float64(cy)*(ch+innerPad),
+			W: box.W - 2*innerPad,
+			H: ch,
+		}
+		sw := (cbox.W - innerPad*float64(ns-1)) / float64(ns)
+		for s := 0; s < ns; s++ {
+			sx := s
+			if l.Slots.RowAlign == RightToLeft || l.Slots.ColAlign == RightToLeft {
+				sx = ns - 1 - s
+			}
+			sbox := Rect{
+				X: cbox.X + float64(sx)*(sw+innerPad),
+				Y: cbox.Y,
+				W: sw,
+				H: cbox.H,
+			}
+			bh := sbox.H / float64(nb)
+			for b := 0; b < nb; b++ {
+				by := b
+				if l.Blades.RowAlign == BottomToTop || l.Blades.ColAlign == BottomToTop {
+					by = nb - 1 - b
+				}
+				bbox := Rect{X: sbox.X, Y: sbox.Y + float64(by)*bh, W: sbox.W, H: bh}
+				nw := bbox.W / float64(nn)
+				for n := 0; n < nn; n++ {
+					nx := n
+					if l.Nodes.RowAlign == RightToLeft || l.Nodes.ColAlign == RightToLeft {
+						nx = nn - 1 - n
+					}
+					idx := l.NodeIndex(l.RowFrom+row, l.RackFrom+rk,
+						l.Cabinets.From+c, l.Slots.From+s, l.Blades.From+b, l.Nodes.From+n)
+					g.NodeRects[idx] = Rect{
+						X: bbox.X + float64(nx)*nw,
+						Y: bbox.Y,
+						W: nw,
+						H: bbox.H,
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theta returns the layout used for the paper's Theta case studies: a
+// Cray XC40 with 24 racks in two rows, 3 cabinets (chassis) per rack, 16
+// slots per chassis and 4 nodes per blade — 4,608 slots of which the
+// first 4,392 host compute nodes.
+func Theta() *Layout {
+	l, err := Parse("xc40 1 2 row0-1:0-11 2 c:0-2 1 s:0-15 1 b:0 n:0-3")
+	if err != nil {
+		panic("rack: builtin Theta layout invalid: " + err.Error())
+	}
+	return l
+}
+
+// Polaris returns a layout for the 560-node HPE Apollo 6500 Gen10+ system
+// used in the paper's GPU-metrics scenario: 40 racks in one row with 14
+// nodes each (two cabinets of 7).
+func Polaris() *Layout {
+	l, err := Parse("apollo 1 1 row0-0:0-39 2 c:0-1 1 s:0-6 1 b:0 n:0")
+	if err != nil {
+		panic("rack: builtin Polaris layout invalid: " + err.Error())
+	}
+	return l
+}

@@ -1,0 +1,230 @@
+// Package stream provides the online-analysis plumbing: batched column
+// sources (from a matrix, a generator function, or CSV) and a pump that
+// drives an I-mrDMD analyzer from a source while recording per-batch
+// latencies — the "simulated streaming environment" of the paper's
+// evaluation (§IV, §V).
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+)
+
+// Source yields successive column batches of a conceptually infinite
+// P×∞ matrix. Next returns nil, false when exhausted.
+type Source interface {
+	// Next returns the next batch of columns.
+	Next() (*mat.Dense, bool)
+	// Rows returns P, the fixed row count.
+	Rows() int
+}
+
+// matrixSource replays a fixed matrix in batches.
+type matrixSource struct {
+	data  *mat.Dense
+	batch int
+	pos   int
+}
+
+// FromMatrix replays data in batches of `batch` columns.
+func FromMatrix(data *mat.Dense, batch int) Source {
+	if batch <= 0 {
+		batch = 1
+	}
+	return &matrixSource{data: data, batch: batch}
+}
+
+func (s *matrixSource) Rows() int { return s.data.R }
+
+func (s *matrixSource) Next() (*mat.Dense, bool) {
+	if s.pos >= s.data.C {
+		return nil, false
+	}
+	hi := s.pos + s.batch
+	if hi > s.data.C {
+		hi = s.data.C
+	}
+	out := s.data.ColSlice(s.pos, hi)
+	s.pos = hi
+	return out, true
+}
+
+// genSource materializes batches on demand from a column-range generator.
+type genSource struct {
+	gen   func(t0, t1 int) *mat.Dense
+	rows  int
+	total int
+	batch int
+	pos   int
+}
+
+// FromFunc wraps a deterministic column-range generator (such as
+// telemetry.Generator.Matrix) as a Source of `total` columns.
+func FromFunc(gen func(t0, t1 int) *mat.Dense, rows, total, batch int) Source {
+	if batch <= 0 {
+		batch = 1
+	}
+	return &genSource{gen: gen, rows: rows, total: total, batch: batch}
+}
+
+func (s *genSource) Rows() int { return s.rows }
+
+func (s *genSource) Next() (*mat.Dense, bool) {
+	if s.pos >= s.total {
+		return nil, false
+	}
+	hi := s.pos + s.batch
+	if hi > s.total {
+		hi = s.total
+	}
+	out := s.gen(s.pos, hi)
+	s.pos = hi
+	return out, true
+}
+
+// PumpStats records the timing of a streaming run.
+type PumpStats struct {
+	InitialColumns int
+	InitialFit     time.Duration
+	// PartialFits holds per-batch update latencies in arrival order.
+	PartialFits []time.Duration
+	// Batches is the number of partial-fit batches processed.
+	Batches int
+	// Columns is the total column count absorbed (initial + streamed).
+	Columns int
+}
+
+// TotalPartial sums the partial-fit time.
+func (s *PumpStats) TotalPartial() time.Duration {
+	var d time.Duration
+	for _, p := range s.PartialFits {
+		d += p
+	}
+	return d
+}
+
+// MeanPartial returns the average partial-fit latency.
+func (s *PumpStats) MeanPartial() time.Duration {
+	if len(s.PartialFits) == 0 {
+		return 0
+	}
+	return s.TotalPartial() / time.Duration(len(s.PartialFits))
+}
+
+// Pump drives an I-mrDMD analyzer from a source: the first initialCols
+// columns (accumulated across batches as needed) seed InitialFit, and
+// every subsequent batch becomes one PartialFit.
+func Pump(inc *core.Incremental, src Source, initialCols int) (*PumpStats, error) {
+	stats := &PumpStats{}
+	var first *mat.Dense
+	for first == nil || first.C < initialCols {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if first == nil {
+			first = b
+		} else {
+			first = mat.HStack(first, b)
+		}
+	}
+	if first == nil || first.C < 2 {
+		return nil, fmt.Errorf("stream: source yielded %d initial columns, need at least 2", colsOf(first))
+	}
+	var spill *mat.Dense
+	if first.C > initialCols && initialCols >= 2 {
+		spill = first.ColSlice(initialCols, first.C)
+		first = first.ColSlice(0, initialCols)
+	}
+	start := time.Now()
+	if err := inc.InitialFit(first); err != nil {
+		return nil, err
+	}
+	stats.InitialFit = time.Since(start)
+	stats.InitialColumns = first.C
+	stats.Columns = first.C
+
+	feed := func(b *mat.Dense) error {
+		t0 := time.Now()
+		if _, err := inc.PartialFit(b); err != nil {
+			return err
+		}
+		stats.PartialFits = append(stats.PartialFits, time.Since(t0))
+		stats.Batches++
+		stats.Columns += b.C
+		return nil
+	}
+	if spill != nil {
+		if err := feed(spill); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := feed(b); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+func colsOf(m *mat.Dense) int {
+	if m == nil {
+		return 0
+	}
+	return m.C
+}
+
+// WriteCSV writes a P×T matrix as rows of comma-separated values with an
+// optional header of column times.
+func WriteCSV(w io.Writer, data *mat.Dense) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, data.C)
+	for i := 0; i < data.R; i++ {
+		row := data.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a matrix written by WriteCSV (every row one sensor).
+func ReadCSV(r io.Reader) (*mat.Dense, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if len(rows) == 0 {
+		return mat.NewDense(0, 0), nil
+	}
+	c := len(rows[0])
+	out := mat.NewDense(len(rows), c)
+	for i, rec := range rows {
+		if len(rec) != c {
+			return nil, fmt.Errorf("stream: ragged CSV: row %d has %d fields, want %d", i, len(rec), c)
+		}
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: row %d col %d: %w", i, j, err)
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}

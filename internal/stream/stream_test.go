@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+)
+
+func randMatrix(seed int64, r, c int) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = 50 + 5*math.Sin(float64(i)/40) + rng.NormFloat64()
+	}
+	return m
+}
+
+func TestFromMatrixBatches(t *testing.T) {
+	data := randMatrix(1, 4, 10)
+	src := FromMatrix(data, 3)
+	if src.Rows() != 4 {
+		t.Fatalf("Rows = %d", src.Rows())
+	}
+	var sizes []int
+	var all *mat.Dense
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, b.C)
+		if all == nil {
+			all = b
+		} else {
+			all = mat.HStack(all, b)
+		}
+	}
+	want := []int{3, 3, 3, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("batch sizes %v want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("batch sizes %v want %v", sizes, want)
+		}
+	}
+	if d := mat.Sub(all, data).FrobNorm(); d != 0 {
+		t.Fatal("batches do not reassemble the matrix")
+	}
+}
+
+func TestFromMatrixExhausted(t *testing.T) {
+	src := FromMatrix(randMatrix(2, 2, 4), 4)
+	if _, ok := src.Next(); !ok {
+		t.Fatal("first Next should succeed")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source still yields")
+	}
+}
+
+func TestFromFuncMatchesMatrix(t *testing.T) {
+	data := randMatrix(3, 5, 20)
+	gen := func(t0, t1 int) *mat.Dense { return data.ColSlice(t0, t1) }
+	src := FromFunc(gen, 5, 20, 7)
+	var all *mat.Dense
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if all == nil {
+			all = b
+		} else {
+			all = mat.HStack(all, b)
+		}
+	}
+	if d := mat.Sub(all, data).FrobNorm(); d != 0 {
+		t.Fatal("FromFunc batches do not reassemble the matrix")
+	}
+}
+
+func TestPumpDrivesIncremental(t *testing.T) {
+	data := randMatrix(4, 8, 640)
+	inc := core.NewIncremental(core.Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
+	src := FromMatrix(data, 128)
+	stats, err := Pump(inc, src, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InitialColumns != 256 {
+		t.Fatalf("InitialColumns = %d want 256", stats.InitialColumns)
+	}
+	if stats.Columns != 640 || inc.Cols() != 640 {
+		t.Fatalf("Columns = %d / %d want 640", stats.Columns, inc.Cols())
+	}
+	if stats.Batches != 3 {
+		t.Fatalf("Batches = %d want 3 (one per streamed block)", stats.Batches)
+	}
+	if stats.MeanPartial() < 0 || stats.TotalPartial() < stats.MeanPartial() {
+		t.Fatal("timing accounting inconsistent")
+	}
+}
+
+// TestPumpSpillHandling: initial columns not aligned to batch size — the
+// overflow must become the first partial fit.
+func TestPumpSpillHandling(t *testing.T) {
+	data := randMatrix(5, 8, 500)
+	inc := core.NewIncremental(core.Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	stats, err := Pump(inc, FromMatrix(data, 200), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InitialColumns != 150 {
+		t.Fatalf("InitialColumns = %d want 150", stats.InitialColumns)
+	}
+	if stats.Columns != 500 {
+		t.Fatalf("Columns = %d want 500", stats.Columns)
+	}
+}
+
+func TestPumpTooFewColumns(t *testing.T) {
+	inc := core.NewIncremental(core.Options{DT: 1})
+	if _, err := Pump(inc, FromMatrix(mat.NewDense(3, 1), 1), 4); err == nil {
+		t.Fatal("want error for starved source")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	data := randMatrix(6, 7, 13)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Sub(got, data).FrobNorm(); d != 0 {
+		t.Fatalf("CSV round trip deviates by %g", d)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3,nope\n")); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || got.R != 0 {
+		t.Fatal("empty CSV should give empty matrix")
+	}
+}

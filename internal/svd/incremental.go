@@ -1,0 +1,179 @@
+package svd
+
+import (
+	"fmt"
+
+	"imrdmd/internal/mat"
+)
+
+// Incremental maintains a truncated SVD X ≈ U diag(S) Vᵀ of a matrix
+// that grows by columns ("spatially parallel / temporally serial" in the
+// terminology of Kühl et al. [46], which the paper's I-mrDMD adopts).
+//
+// The update is Brand's additive algorithm: project the incoming block C
+// onto the current basis, QR-factor the out-of-subspace residual, build
+// the small augmented core matrix
+//
+//	K = | diag(S)  UᵀC |
+//	    |   0      R   |
+//
+// take its (small, dense) SVD, and rotate the bases. Cost per update is
+// O(m·q·c + q³) for m rows, rank q and c new columns — independent of how
+// many columns have been absorbed before, which is exactly the property
+// that makes I-mrDMD's partial fits flat in Table I of the paper.
+type Incremental struct {
+	U *mat.Dense // m×q
+	S []float64  // q
+	V *mat.Dense // t×q, t grows with absorbed columns
+
+	// MaxRank caps q after every update; 0 means unbounded.
+	MaxRank int
+	// DropTol removes singular values below DropTol·σmax after every
+	// update. Zero uses a conservative default.
+	DropTol float64
+
+	updates int
+	// reorthEvery controls the periodic exact re-orthogonalization of U
+	// that counters Brand-update drift.
+	reorthEvery int
+}
+
+// NewIncremental seeds the running SVD from a first batch of columns.
+func NewIncremental(first *mat.Dense, maxRank int) *Incremental {
+	r := Compute(first)
+	if maxRank > 0 && r.Rank() > maxRank {
+		r = r.Truncate(maxRank)
+	}
+	return &Incremental{
+		U:           r.U,
+		S:           r.S,
+		V:           r.V,
+		MaxRank:     maxRank,
+		DropTol:     1e-10,
+		reorthEvery: 8,
+	}
+}
+
+// Rows returns m, the (fixed) row dimension.
+func (inc *Incremental) Rows() int { return inc.U.R }
+
+// Cols returns t, the number of columns absorbed so far.
+func (inc *Incremental) Cols() int { return inc.V.R }
+
+// Rank returns the current truncation rank q.
+func (inc *Incremental) Rank() int { return len(inc.S) }
+
+// Update absorbs a new block of columns c (m×k). Blocks wider than the
+// row count are split so the residual QR stays tall.
+func (inc *Incremental) Update(c *mat.Dense) {
+	if c.R != inc.U.R {
+		panic(fmt.Sprintf("svd: Incremental.Update row mismatch %d vs %d", c.R, inc.U.R))
+	}
+	if c.C == 0 {
+		return
+	}
+	if c.C > c.R {
+		for j := 0; j < c.C; j += c.R {
+			hi := j + c.R
+			if hi > c.C {
+				hi = c.C
+			}
+			inc.update(c.ColSlice(j, hi))
+		}
+		return
+	}
+	inc.update(c)
+}
+
+func (inc *Incremental) update(c *mat.Dense) {
+	q := inc.Rank()
+	k := c.C
+
+	// L = Uᵀ C (q×k); H = C − U L, the out-of-basis residual.
+	l := mat.MulT(inc.U, c)
+	h := mat.Sub(c, mat.Mul(inc.U, l))
+	qr := mat.QRFactor(h) // J (m×k) orthonormal, R (k×k)
+
+	// Augmented core K ((q+k)×(q+k)).
+	kk := mat.NewDense(q+k, q+k)
+	for i := 0; i < q; i++ {
+		kk.Set(i, i, inc.S[i])
+		copy(kk.Row(i)[q:], l.Row(i))
+	}
+	for i := 0; i < k; i++ {
+		copy(kk.Row(q + i)[q:], qr.R.Row(i))
+	}
+	core := jacobiSVD(kk)
+
+	// Rotate bases: U ← [U J]·Uc, V ← [[V 0];[0 I]]·Vc.
+	uj := mat.HStack(inc.U, qr.Q)
+	newU := mat.Mul(uj, core.U)
+
+	t := inc.V.R
+	vext := mat.NewDense(t+k, q+k)
+	for i := 0; i < t; i++ {
+		copy(vext.Row(i)[:q], inc.V.Row(i))
+	}
+	for i := 0; i < k; i++ {
+		vext.Set(t+i, q+i, 1)
+	}
+	newV := mat.Mul(vext, core.V)
+
+	inc.U, inc.S, inc.V = newU, core.S, newV
+	inc.truncate()
+
+	inc.updates++
+	if inc.reorthEvery > 0 && inc.updates%inc.reorthEvery == 0 {
+		inc.reorthogonalize()
+	}
+}
+
+// truncate applies MaxRank and DropTol.
+func (inc *Incremental) truncate() {
+	rank := len(inc.S)
+	if inc.MaxRank > 0 && rank > inc.MaxRank {
+		rank = inc.MaxRank
+	}
+	tol := inc.DropTol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if len(inc.S) > 0 {
+		floor := tol * inc.S[0]
+		for rank > 1 && inc.S[rank-1] <= floor {
+			rank--
+		}
+	}
+	if rank == len(inc.S) {
+		return
+	}
+	inc.U = inc.U.ColSlice(0, rank)
+	inc.V = inc.V.ColSlice(0, rank)
+	inc.S = inc.S[:rank]
+}
+
+// reorthogonalize restores exact column orthonormality of U, which drifts
+// slowly under repeated Brand updates. The correction is exact: with
+// U = Q R, the factorization becomes Q·(R diag(S))·Vᵀ and the small SVD
+// of R·diag(S) re-diagonalizes the core.
+func (inc *Incremental) reorthogonalize() {
+	q := inc.Rank()
+	qr := mat.QRFactor(inc.U)
+	rs := qr.R.Clone()
+	for i := 0; i < q; i++ {
+		row := rs.Row(i)
+		for j := range row {
+			row[j] *= inc.S[j]
+		}
+	}
+	core := jacobiSVD(rs)
+	inc.U = mat.Mul(qr.Q, core.U)
+	inc.V = mat.Mul(inc.V, core.V)
+	inc.S = core.S
+	inc.truncate()
+}
+
+// Result snapshots the current decomposition.
+func (inc *Incremental) Result() *Result {
+	return &Result{U: inc.U.Clone(), S: append([]float64(nil), inc.S...), V: inc.V.Clone()}
+}

@@ -1,0 +1,90 @@
+package svd
+
+import (
+	"fmt"
+
+	"imrdmd/internal/mat"
+)
+
+// AddRows extends the running decomposition with new rows (new spatial
+// measurements covering the full absorbed column history) — the transpose
+// counterpart of Update, supporting the paper's future-work extension of
+// adding entire new time series to I-mrDMD.
+//
+// With X = U Σ Vᵀ and a new row block B (k×t):
+//
+//	[X; B] = [U 0; 0 I] · K · [V Qh]ᵀ,   K = | Σ      0  |
+//	                                         | (BV)   Rhᵀ|
+//
+// where Hᵀ = B − (BV)Vᵀ is the out-of-subspace residual and Qh Rh its
+// (transposed) QR factorization.
+func (inc *Incremental) AddRows(b *mat.Dense) {
+	if b.C != inc.V.R {
+		panic(fmt.Sprintf("svd: AddRows column mismatch %d vs %d", b.C, inc.V.R))
+	}
+	if b.R == 0 {
+		return
+	}
+	// Row blocks taller than the column count are split so the residual
+	// QR stays tall.
+	if b.R > b.C {
+		for i := 0; i < b.R; i += b.C {
+			hi := i + b.C
+			if hi > b.R {
+				hi = b.R
+			}
+			inc.addRows(b.RowSlice(i, hi))
+		}
+		return
+	}
+	inc.addRows(b)
+}
+
+func (inc *Incremental) addRows(b *mat.Dense) {
+	q := inc.Rank()
+	k := b.R
+	t := inc.V.R
+
+	l := mat.Mul(b, inc.V)                 // k×q
+	h := mat.Sub(b, mat.Mul(l, inc.V.T())) // k×t residual rows
+	qr := mat.QRFactor(h.T())              // Qh (t×k), Rh (k×k); Hᵀ = Qh Rh
+
+	// Augmented core ((q+k)×(q+k)): [Σ 0; L Rhᵀ].
+	kk := mat.NewDense(q+k, q+k)
+	for i := 0; i < q; i++ {
+		kk.Set(i, i, inc.S[i])
+	}
+	for i := 0; i < k; i++ {
+		copy(kk.Row(q + i)[:q], l.Row(i))
+		for j := 0; j < k; j++ {
+			kk.Set(q+i, q+j, qr.R.At(j, i))
+		}
+	}
+	core := jacobiSVD(kk)
+
+	// U ← [[U 0];[0 I]]·Uc (rows grow by k).
+	m := inc.U.R
+	uext := mat.NewDense(m+k, q+k)
+	for i := 0; i < m; i++ {
+		copy(uext.Row(i)[:q], inc.U.Row(i))
+	}
+	for i := 0; i < k; i++ {
+		uext.Set(m+i, q+i, 1)
+	}
+	newU := mat.Mul(uext, core.U)
+
+	// V ← [V Qh]·Vc.
+	vq := mat.NewDense(t, q+k)
+	for i := 0; i < t; i++ {
+		copy(vq.Row(i)[:q], inc.V.Row(i))
+		copy(vq.Row(i)[q:], qr.Q.Row(i))
+	}
+	newV := mat.Mul(vq, core.V)
+
+	inc.U, inc.S, inc.V = newU, core.S, newV
+	inc.truncate()
+	inc.updates++
+	if inc.reorthEvery > 0 && inc.updates%inc.reorthEvery == 0 {
+		inc.reorthogonalize()
+	}
+}

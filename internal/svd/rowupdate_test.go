@@ -1,0 +1,99 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+func TestAddRowsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	full := randDense(rng, 50, 30)
+	inc := NewIncremental(full.RowSlice(0, 30), 0)
+	for i := 30; i < 50; i += 7 {
+		hi := i + 7
+		if hi > 50 {
+			hi = 50
+		}
+		inc.AddRows(full.RowSlice(i, hi))
+	}
+	if inc.Rows() != 50 {
+		t.Fatalf("Rows = %d want 50", inc.Rows())
+	}
+	batch := Compute(full)
+	for i := 0; i < 10; i++ {
+		if math.Abs(inc.S[i]-batch.S[i]) > 1e-6*(1+batch.S[0]) {
+			t.Fatalf("σ[%d]: incremental %v batch %v", i, inc.S[i], batch.S[i])
+		}
+	}
+	d := mat.Sub(inc.Result().Reconstruct(), full).FrobNorm()
+	if d > 1e-6*(1+full.FrobNorm()) {
+		t.Fatalf("row-updated reconstruction deviates by %g", d)
+	}
+}
+
+func TestAddRowsWideBlockChunked(t *testing.T) {
+	// A row block taller than the column count must be chunked internally.
+	rng := rand.New(rand.NewSource(2))
+	full := randDense(rng, 40, 10)
+	inc := NewIncremental(full.RowSlice(0, 10), 0)
+	inc.AddRows(full.RowSlice(10, 40)) // 30 rows > 10 cols
+	d := mat.Sub(inc.Result().Reconstruct(), full).FrobNorm()
+	if d > 1e-6*(1+full.FrobNorm()) {
+		t.Fatalf("chunked row update deviates by %g", d)
+	}
+}
+
+func TestAddRowsThenColumns(t *testing.T) {
+	// Mixed growth: add rows, then columns; compare against batch SVD.
+	rng := rand.New(rand.NewSource(3))
+	full := randDense(rng, 30, 40)
+	inc := NewIncremental(full.RowSlice(0, 20).ColSlice(0, 25), 0)
+	inc.AddRows(full.RowSlice(20, 30).ColSlice(0, 25))
+	inc.Update(full.ColSlice(25, 40))
+	batch := Compute(full)
+	for i := 0; i < 8; i++ {
+		if math.Abs(inc.S[i]-batch.S[i]) > 1e-6*(1+batch.S[0]) {
+			t.Fatalf("σ[%d]: incremental %v batch %v", i, inc.S[i], batch.S[i])
+		}
+	}
+}
+
+func TestAddRowsOrthonormalityPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inc := NewIncremental(randDense(rng, 20, 15), 0)
+	for k := 0; k < 20; k++ {
+		inc.AddRows(randDense(rng, 3, 15))
+	}
+	utu := mat.Mul(inc.U.T(), inc.U)
+	if d := mat.Sub(utu, mat.Eye(inc.Rank())).FrobNorm(); d > 1e-8 {
+		t.Fatalf("U drifted by %g after 20 row updates", d)
+	}
+	vtv := mat.Mul(inc.V.T(), inc.V)
+	if d := mat.Sub(vtv, mat.Eye(inc.Rank())).FrobNorm(); d > 1e-8 {
+		t.Fatalf("V drifted by %g after 20 row updates", d)
+	}
+}
+
+func TestAddRowsEmptyNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inc := NewIncremental(randDense(rng, 10, 8), 0)
+	before := inc.Rows()
+	inc.AddRows(mat.NewDense(0, 8))
+	if inc.Rows() != before {
+		t.Fatal("empty row update changed state")
+	}
+}
+
+func TestAddRowsColumnMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inc := NewIncremental(randDense(rng, 10, 8), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on column mismatch")
+		}
+	}()
+	inc.AddRows(mat.NewDense(2, 9))
+}

@@ -1,0 +1,163 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one named line or point set for a plot.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string
+	// Points draws markers instead of a connected line.
+	Points bool
+}
+
+// PlotConfig describes a 2-D chart.
+type PlotConfig struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   float64
+	// LogY plots the y axis in log10 (used by the scaling comparison).
+	LogY bool
+}
+
+var defaultPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// RenderPlot draws the series into an SVG chart with axes, ticks and a
+// legend. It is the workhorse behind the Fig. 3/5/7/8/9 artifacts.
+func RenderPlot(w io.Writer, cfg PlotConfig, series ...Series) error {
+	if cfg.W <= 0 {
+		cfg.W = 640
+	}
+	if cfg.H <= 0 {
+		cfg.H = 400
+	}
+	const ml, mr, mt, mb = 62.0, 16.0, 36.0, 46.0
+	pw := cfg.W - ml - mr
+	ph := cfg.H - mt - mb
+
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// 5% padding on y.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 { return ml + (x-xmin)/(xmax-xmin)*pw }
+	py := func(y float64) float64 {
+		if cfg.LogY {
+			y = math.Log10(math.Max(y, 1e-300))
+		}
+		return mt + ph - (y-ymin)/(ymax-ymin)*ph
+	}
+
+	svg := NewSVG(cfg.W, cfg.H)
+	if cfg.Title != "" {
+		svg.Text(cfg.W/2, 20, 13, "middle", "#111", cfg.Title)
+	}
+	// Axes.
+	svg.Line(ml, mt, ml, mt+ph, "#444", 1)
+	svg.Line(ml, mt+ph, ml+pw, mt+ph, "#444", 1)
+	for _, tx := range niceTicks(xmin, xmax, 6) {
+		x := px(tx)
+		svg.Line(x, mt+ph, x, mt+ph+4, "#444", 1)
+		svg.Text(x, mt+ph+16, 9, "middle", "#333", trimFloat(tx))
+	}
+	for _, ty := range niceTicks(ymin, ymax, 6) {
+		y := mt + ph - (ty-ymin)/(ymax-ymin)*ph
+		svg.Line(ml-4, y, ml, y, "#444", 1)
+		label := trimFloat(ty)
+		if cfg.LogY {
+			label = fmt.Sprintf("1e%s", trimFloat(ty))
+		}
+		svg.Text(ml-7, y+3, 9, "end", "#333", label)
+		svg.Line(ml, y, ml+pw, y, "#eee", 0.5)
+	}
+	if cfg.XLabel != "" {
+		svg.Text(ml+pw/2, cfg.H-8, 11, "middle", "#111", cfg.XLabel)
+	}
+	if cfg.YLabel != "" {
+		// Simple horizontal y label above the axis (no rotation support).
+		svg.Text(8, mt-8, 11, "start", "#111", cfg.YLabel)
+	}
+
+	// Series.
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultPalette[si%len(defaultPalette)]
+		}
+		if s.Points {
+			for i := range s.X {
+				if cfg.LogY && s.Y[i] <= 0 {
+					continue
+				}
+				svg.Circle(px(s.X[i]), py(s.Y[i]), 2.6, color,
+					fmt.Sprintf("%s (%.4g, %.4g)", s.Name, s.X[i], s.Y[i]))
+			}
+		} else {
+			xs := make([]float64, 0, len(s.X))
+			ys := make([]float64, 0, len(s.X))
+			for i := range s.X {
+				if cfg.LogY && s.Y[i] <= 0 {
+					continue
+				}
+				xs = append(xs, px(s.X[i]))
+				ys = append(ys, py(s.Y[i]))
+			}
+			svg.Polyline(xs, ys, color, 1.4)
+		}
+		// Legend entry.
+		lx := ml + 10
+		ly := mt + 12 + float64(si)*14
+		svg.Line(lx, ly-3, lx+16, ly-3, color, 2)
+		svg.Text(lx+20, ly, 10, "start", "#333", s.Name)
+	}
+	_, err := svg.WriteTo(w)
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}

@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"imrdmd/internal/rack"
+)
+
+// RackViewConfig drives RenderRackView.
+type RackViewConfig struct {
+	Title string
+	// ZMax bounds the diverging color scale (the paper uses ±5).
+	ZMax float64
+	// Outlined nodes get a heavy dark outline (the hardware-error markers
+	// of Figs. 4/6); Highlighted get a red outline (memory errors in
+	// case study 1).
+	Outlined    map[int]bool
+	Highlighted map[int]bool
+	// ActiveOnly, when non-nil, dims every node not in the set (the
+	// "nodes utilized by a job" emphasis of Fig. 4).
+	ActiveOnly map[int]bool
+	// Scale multiplies the abstract layout units into pixels (default 1).
+	Scale float64
+}
+
+// RenderRackView draws the machine with each node colored by its z-score
+// (values[i] for node index i; NaN renders gray) and writes SVG to w.
+func RenderRackView(w io.Writer, layout *rack.Layout, values []float64, cfg RackViewConfig) error {
+	g := layout.Geometry()
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	zmax := cfg.ZMax
+	if zmax <= 0 {
+		zmax = 5
+	}
+	const legendH = 60
+	const titleH = 28
+	svg := NewSVG(g.Width*scale, g.Height*scale+legendH+titleH)
+	if cfg.Title != "" {
+		svg.Text(8, 18, 14, "start", "#111", cfg.Title)
+	}
+	offY := float64(titleH)
+
+	// Rack outlines first.
+	for _, rb := range g.Racks {
+		svg.Rect(rb.Box.X*scale, rb.Box.Y*scale+offY, rb.Box.W*scale, rb.Box.H*scale,
+			"none", "#999", 1, fmt.Sprintf("rack c%d-%d", rb.Rack, rb.Row))
+	}
+	refs := layout.Enumerate()
+	for _, ref := range refs {
+		i := ref.Index
+		r := g.NodeRects[i]
+		fill := "#d8d8d8"
+		label := ref.ID()
+		if i < len(values) && !math.IsNaN(values[i]) {
+			fill = ZScoreColor(values[i], zmax)
+			label = fmt.Sprintf("%s z=%.2f", ref.ID(), values[i])
+		}
+		if cfg.ActiveOnly != nil && !cfg.ActiveOnly[i] {
+			fill = "#eeeeee"
+		}
+		stroke, sw := "", 0.0
+		if cfg.Highlighted[i] {
+			stroke, sw = "#cc0000", 1.6
+		}
+		if cfg.Outlined[i] {
+			stroke, sw = "#111111", 1.6
+		}
+		svg.Rect(r.X*scale, r.Y*scale+offY, r.W*scale, r.H*scale, fill, stroke, sw, label)
+	}
+
+	// Diverging legend.
+	ly := g.Height*scale + offY + 14
+	lw := math.Min(320, g.Width*scale-20)
+	steps := 64
+	for i := 0; i < steps; i++ {
+		t := float64(i) / float64(steps-1)
+		z := -zmax + 2*zmax*t
+		svg.Rect(10+t*(lw-10), ly, (lw-10)/float64(steps)+1, 12, ZScoreColor(z, zmax), "", 0, "")
+	}
+	svg.Text(10, ly+26, 10, "start", "#333", fmt.Sprintf("%.0f", -zmax))
+	svg.Text(10+(lw-10)/2, ly+26, 10, "middle", "#333", "0")
+	svg.Text(lw, ly+26, 10, "end", "#333", fmt.Sprintf("+%.0f", zmax))
+	svg.Text(10+lw+12, ly+10, 10, "start", "#333", "z-score (Turbo diverging)")
+
+	_, err := svg.WriteTo(w)
+	return err
+}

@@ -1,0 +1,61 @@
+package viz
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// ReportSection is one titled block of an HTML report: prose plus an
+// optional inline SVG figure and an optional preformatted table.
+type ReportSection struct {
+	Title string
+	Prose string
+	SVG   template.HTML // inline SVG markup (trusted, produced by this package)
+	Table string        // preformatted text table
+}
+
+// Report is a standalone HTML document — the repository's stand-in for
+// the paper's Jupyter notebook interface: every figure and table in one
+// shareable file.
+type Report struct {
+	Title    string
+	Sections []ReportSection
+}
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; max-width: 1100px; margin: 24px auto; color: #222; }
+h1 { font-size: 22px; } h2 { font-size: 17px; margin-top: 28px; }
+pre { background: #f6f6f6; padding: 10px; overflow-x: auto; font-size: 12px; }
+.fig { margin: 12px 0; border: 1px solid #ddd; padding: 6px; }
+p { line-height: 1.45; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{if .Prose}}<p>{{.Prose}}</p>{{end}}
+{{if .SVG}}<div class="fig">{{.SVG}}</div>{{end}}
+{{if .Table}}<pre>{{.Table}}</pre>{{end}}
+{{end}}
+</body></html>
+`))
+
+// Render writes the report as HTML.
+func (r *Report) Render(w io.Writer) error {
+	if err := reportTmpl.Execute(w, r); err != nil {
+		return fmt.Errorf("viz: report: %w", err)
+	}
+	return nil
+}
+
+// AddFigure appends a section with an SVG produced by this package.
+func (r *Report) AddFigure(title, prose, svg string) {
+	r.Sections = append(r.Sections, ReportSection{Title: title, Prose: prose, SVG: template.HTML(svg)})
+}
+
+// AddTable appends a section with a preformatted table.
+func (r *Report) AddTable(title, prose, table string) {
+	r.Sections = append(r.Sections, ReportSection{Title: title, Prose: prose, Table: table})
+}

@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG is a minimal SVG document builder sufficient for the rack views and
+// plots. Elements are appended in paint order.
+type SVG struct {
+	W, H float64
+	body strings.Builder
+}
+
+// NewSVG creates a canvas of the given pixel size.
+func NewSVG(w, h float64) *SVG {
+	return &SVG{W: w, H: h}
+}
+
+// esc escapes text content/attribute values.
+func esc(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// Rect draws a rectangle. title, when nonempty, becomes the hover tooltip
+// (the SVG analogue of the paper's D3 hover interaction).
+func (s *SVG) Rect(x, y, w, h float64, fill, stroke string, strokeW float64, title string) {
+	fmt.Fprintf(&s.body, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"`,
+		x, y, w, h, fill)
+	if stroke != "" {
+		fmt.Fprintf(&s.body, ` stroke="%s" stroke-width="%.2f"`, stroke, strokeW)
+	}
+	if title == "" {
+		s.body.WriteString("/>\n")
+		return
+	}
+	fmt.Fprintf(&s.body, `><title>%s</title></rect>`+"\n", esc(title))
+}
+
+// Circle draws a circle.
+func (s *SVG) Circle(cx, cy, r float64, fill string, title string) {
+	fmt.Fprintf(&s.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"`, cx, cy, r, fill)
+	if title == "" {
+		s.body.WriteString("/>\n")
+		return
+	}
+	fmt.Fprintf(&s.body, `><title>%s</title></circle>`+"\n", esc(title))
+}
+
+// Line draws a line segment.
+func (s *SVG) Line(x1, y1, x2, y2 float64, stroke string, w float64) {
+	fmt.Fprintf(&s.body, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, w)
+}
+
+// Polyline draws a connected path through the points.
+func (s *SVG) Polyline(xs, ys []float64, stroke string, w float64) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		fmt.Fprintf(&pts, "%.2f,%.2f ", xs[i], ys[i])
+	}
+	fmt.Fprintf(&s.body, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		strings.TrimSpace(pts.String()), stroke, w)
+}
+
+// Text places a label. anchor is "start", "middle" or "end".
+func (s *SVG) Text(x, y float64, size float64, anchor, fill, text string) {
+	if anchor == "" {
+		anchor = "start"
+	}
+	if fill == "" {
+		fill = "#222"
+	}
+	fmt.Fprintf(&s.body, `<text x="%.2f" y="%.2f" font-size="%.1f" text-anchor="%s" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, anchor, fill, esc(text))
+}
+
+// WriteTo emits the complete document.
+func (s *SVG) WriteTo(w io.Writer) (int64, error) {
+	n, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+
+			"\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n%s</svg>\n",
+		s.W, s.H, s.W, s.H, s.body.String())
+	return int64(n), err
+}
+
+// String renders the document in memory.
+func (s *SVG) String() string {
+	var b strings.Builder
+	if _, err := s.WriteTo(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"imrdmd/internal/rack"
+)
+
+func TestTurboEndpointsAndRange(t *testing.T) {
+	// Turbo starts blue-dominant and ends red-dominant.
+	r0, g0, b0 := Turbo(0)
+	if b0 <= r0 || b0 <= g0 {
+		t.Fatalf("Turbo(0) = %d,%d,%d should be blue-dominant", r0, g0, b0)
+	}
+	r1, g1, b1 := Turbo(1)
+	if r1 <= b1 || r1 <= g1 {
+		t.Fatalf("Turbo(1) = %d,%d,%d should be red-dominant", r1, g1, b1)
+	}
+	// Mid range is bright green.
+	rm, gm, bm := Turbo(0.5)
+	if gm < 150 || gm <= rm || gm <= bm {
+		t.Fatalf("Turbo(0.5) = %d,%d,%d should be green-dominant", rm, gm, bm)
+	}
+	// Quarter point is cyan-ish (blue and green high, red low).
+	rq, gq, bq := Turbo(0.25)
+	if rq > gq || rq > bq {
+		t.Fatalf("Turbo(0.25) = %d,%d,%d should be cyan-ish", rq, gq, bq)
+	}
+}
+
+func TestTurboClampsInput(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		r, g, b := Turbo(v)
+		_ = r
+		_ = g
+		_ = b
+		return true // must not panic; byte outputs are inherently in range
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	ra, ga, ba := Turbo(-5)
+	rb, gb, bb := Turbo(0)
+	if ra != rb || ga != gb || ba != bb {
+		t.Fatal("Turbo(-5) should clamp to Turbo(0)")
+	}
+}
+
+func TestZScoreColorDiverging(t *testing.T) {
+	cold := ZScoreColor(-5, 5)
+	hot := ZScoreColor(5, 5)
+	mid := ZScoreColor(0, 5)
+	if cold == hot || mid == cold || mid == hot {
+		t.Fatalf("diverging colors collapsed: %s %s %s", cold, mid, hot)
+	}
+	if !strings.HasPrefix(cold, "#") || len(cold) != 7 {
+		t.Fatalf("bad color format %q", cold)
+	}
+}
+
+func TestSVGBasics(t *testing.T) {
+	s := NewSVG(100, 50)
+	s.Rect(1, 2, 3, 4, "#ff0000", "#000", 1, "hello <&> world")
+	s.Circle(10, 10, 2, "#00ff00", "")
+	s.Line(0, 0, 5, 5, "#0000ff", 1)
+	s.Polyline([]float64{1, 2, 3}, []float64{4, 5, 6}, "#333", 1)
+	s.Text(5, 5, 10, "middle", "", "label")
+	out := s.String()
+	for _, want := range []string{"<svg", "rect", "circle", "line", "polyline", "text", "hello &lt;&amp;&gt; world", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSVGPolylineDegenerate(t *testing.T) {
+	s := NewSVG(10, 10)
+	s.Polyline(nil, nil, "#000", 1)                  // empty: no-op
+	s.Polyline([]float64{1}, []float64{}, "#000", 1) // mismatched: no-op
+	if strings.Contains(s.String(), "polyline") {
+		t.Fatal("degenerate polylines should be dropped")
+	}
+}
+
+func TestRenderRackView(t *testing.T) {
+	layout := rack.Polaris()
+	values := make([]float64, layout.TotalNodes())
+	for i := range values {
+		values[i] = float64(i%11) - 5
+	}
+	values[3] = math.NaN()
+	var buf bytes.Buffer
+	err := RenderRackView(&buf, layout, values, RackViewConfig{
+		Title:       "test view",
+		ZMax:        5,
+		Outlined:    map[int]bool{0: true},
+		Highlighted: map[int]bool{1: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test view") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "z-score (Turbo diverging)") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "#d8d8d8") {
+		t.Fatal("NaN node should render gray")
+	}
+	// One rect per node plus racks, legend and background.
+	if c := strings.Count(out, "<rect"); c < layout.TotalNodes() {
+		t.Fatalf("only %d rects for %d nodes", c, layout.TotalNodes())
+	}
+}
+
+func TestRenderPlotLineAndPoints(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderPlot(&buf, PlotConfig{Title: "plot", XLabel: "x", YLabel: "y"},
+		Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{1, 4, 9}},
+		Series{Name: "dots", X: []float64{0, 1, 2}, Y: []float64{2, 3, 4}, Points: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plot", "polyline", "circle", "line", "dots"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q", want)
+		}
+	}
+}
+
+func TestRenderPlotLogYSkipsNonPositive(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderPlot(&buf, PlotConfig{LogY: true},
+		Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{0, 10, 100}, Points: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the two positive points survive.
+	if c := strings.Count(buf.String(), "<circle"); c != 2 {
+		t.Fatalf("log plot drew %d points, want 2", c)
+	}
+}
+
+func TestRenderPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderPlot(&buf, PlotConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("empty plot should still be a valid document")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 5)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("tick count %d unreasonable: %v", len(ticks), ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not ascending")
+		}
+	}
+	// Degenerate range must not hang or panic.
+	if ticks := niceTicks(3, 3, 4); len(ticks) == 0 {
+		t.Fatal("degenerate range gave no ticks")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "Case Study"}
+	r.AddFigure("Rack", "the rack view", "<svg></svg>")
+	r.AddTable("Timing", "", "a | b\n1 | 2")
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Case Study", "Rack", "<svg></svg>", "a | b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Prose is escaped; SVG is not.
+	r2 := &Report{Title: "<script>"}
+	var buf2 bytes.Buffer
+	if err := r2.Render(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "<script>") {
+		t.Fatal("title not escaped")
+	}
+}

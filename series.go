@@ -1,0 +1,94 @@
+package imrdmd
+
+import (
+	"fmt"
+	"io"
+
+	"imrdmd/internal/mat"
+	"imrdmd/internal/stream"
+)
+
+// Series is a P×T sensor matrix: row i is sensor i's time series, columns
+// are snapshots a fixed Δt apart. It is the public input/output type of
+// the analyzer.
+type Series struct {
+	m *mat.Dense
+}
+
+// NewSeries allocates a zeroed P×T series.
+func NewSeries(p, t int) *Series {
+	return &Series{m: mat.NewDense(p, t)}
+}
+
+// FromRows builds a Series from per-sensor rows (all rows must have equal
+// length).
+func FromRows(rows [][]float64) (*Series, error) {
+	if len(rows) == 0 {
+		return NewSeries(0, 0), nil
+	}
+	t := len(rows[0])
+	s := NewSeries(len(rows), t)
+	for i, r := range rows {
+		if len(r) != t {
+			return nil, fmt.Errorf("imrdmd: row %d has %d values, want %d", i, len(r), t)
+		}
+		copy(s.m.Row(i), r)
+	}
+	return s, nil
+}
+
+// FromDense wraps raw row-major data (p rows × t cols) without copying.
+func FromDense(p, t int, data []float64) *Series {
+	return &Series{m: mat.NewDenseData(p, t, data)}
+}
+
+// Sensors returns P.
+func (s *Series) Sensors() int { return s.m.R }
+
+// Steps returns T.
+func (s *Series) Steps() int { return s.m.C }
+
+// At returns sensor i at step k.
+func (s *Series) At(i, k int) float64 { return s.m.At(i, k) }
+
+// Set assigns sensor i at step k.
+func (s *Series) Set(i, k int, v float64) { s.m.Set(i, k, v) }
+
+// Row returns sensor i's series, aliasing the underlying storage.
+func (s *Series) Row(i int) []float64 { return s.m.Row(i) }
+
+// Slice returns a copy of steps [k0, k1).
+func (s *Series) Slice(k0, k1 int) *Series {
+	return &Series{m: s.m.ColSlice(k0, k1)}
+}
+
+// Clone deep-copies the series.
+func (s *Series) Clone() *Series { return &Series{m: s.m.Clone()} }
+
+// Append returns s with the columns of more appended.
+func (s *Series) Append(more *Series) *Series {
+	return &Series{m: mat.HStack(s.m, more.m)}
+}
+
+// FrobNorm returns the Frobenius norm of the matrix.
+func (s *Series) FrobNorm() float64 { return s.m.FrobNorm() }
+
+// Sub returns s − other element-wise.
+func (s *Series) Sub(other *Series) *Series {
+	return &Series{m: mat.Sub(s.m, other.m)}
+}
+
+// WriteCSV writes the series, one sensor per row.
+func (s *Series) WriteCSV(w io.Writer) error { return stream.WriteCSV(w, s.m) }
+
+// ReadSeriesCSV reads a series written by WriteCSV.
+func ReadSeriesCSV(r io.Reader) (*Series, error) {
+	m, err := stream.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Series{m: m}, nil
+}
+
+// dense exposes the underlying matrix to sibling files in this package.
+func (s *Series) dense() *mat.Dense { return s.m }
