@@ -36,6 +36,7 @@ func main() {
 		batch   = flag.Int("batch", 0, "partial-fit batch columns (0 = no streaming)")
 		baseLo  = flag.Float64("baseline-lo", 46, "baseline mean lower bound")
 		baseHi  = flag.Float64("baseline-hi", 57, "baseline mean upper bound")
+		workers = flag.Int("workers", 0, "compute-engine worker lanes (0 = GOMAXPROCS)")
 		outDir  = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
@@ -66,7 +67,7 @@ func main() {
 
 	a := imrdmd.New(imrdmd.Options{
 		DT: *dt, MaxLevels: *levels, MaxCycles: *cycles,
-		UseSVHT: *svht, Rank: *rank, Parallel: true,
+		UseSVHT: *svht, Rank: *rank, Parallel: true, Workers: *workers,
 	})
 	start := time.Now()
 	if err := a.InitialFit(series.Slice(0, init)); err != nil {

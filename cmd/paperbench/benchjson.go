@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"imrdmd/internal/bench"
+	"imrdmd/internal/compute"
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+)
+
+// benchSnapshot is the perf-trajectory record emitted by -bench-json: the
+// two hot-path metrics the compute-engine work optimizes (dense multiply
+// and streamed PartialFit), captured per PR so regressions are diffable.
+type benchSnapshot struct {
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Workers    int                    `json:"workers"`
+	Benchmarks map[string]benchMetric `json:"benchmarks"`
+}
+
+type benchMetric struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	N           int   `json:"n"`
+}
+
+func metricOf(r testing.BenchmarkResult) benchMetric {
+	return benchMetric{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+}
+
+// writeBenchJSON runs the Mul and PartialFit micro-benchmarks in-process
+// and writes the snapshot to path (e.g. BENCH_pr1.json).
+func writeBenchJSON(path string, workers int) error {
+	snap := benchSnapshot{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Benchmarks: map[string]benchMetric{},
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	const n = 512
+	a := mat.NewDense(n, n)
+	b := mat.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		b.Data[i] = rng.NormFloat64()
+	}
+	// Route through the same engine the workers flag selects so the
+	// snapshot's numbers match its recorded configuration.
+	eng := compute.Shared(workers)
+	snap.Benchmarks["mul_512x512"] = metricOf(testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			_ = mat.MulWith(eng, nil, a, b)
+		}
+	}))
+
+	// Fixed streaming episode per iteration: rebuild the analyzer (off
+	// the clock) and time five 40-column partial fits over T=2000→2200.
+	// Keeping the absorbed range identical every iteration makes the
+	// recorded numbers independent of how high testing.Benchmark scales
+	// N, so snapshots stay comparable across machines and PRs.
+	data := bench.SCLogData(200, 2200, 1)
+	opts := core.Options{
+		DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true,
+		Parallel: true, Workers: workers,
+	}
+	initial := data.ColSlice(0, 2000)
+	blocks := make([]*mat.Dense, 5)
+	for i := range blocks {
+		blocks[i] = data.ColSlice(2000+40*i, 2000+40*(i+1))
+	}
+	snap.Benchmarks["partial_fit_sclog_t2000_x5"] = metricOf(testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			tb.StopTimer()
+			inc := core.NewIncremental(opts)
+			if err := inc.InitialFit(initial); err != nil {
+				tb.Fatal(err)
+			}
+			tb.StartTimer()
+			for _, blk := range blocks {
+				if _, err := inc.PartialFit(blk); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}))
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

@@ -24,14 +24,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | env | gpu | table1 | case1 | case2 | fig8 | fig9 | q2 | compress")
-		scale  = flag.Float64("scale", 0.1, "workload scale factor (1.0 = paper size)")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		outDir = flag.String("out", "results", "artifact directory")
-		tsne   = flag.Bool("tsne", false, "include t-SNE in fig9 (slow)")
-		check  = flag.Bool("check", true, "assert the paper's qualitative shapes")
+		exp     = flag.String("exp", "all", "experiment: all | env | gpu | table1 | case1 | case2 | fig8 | fig9 | q2 | compress")
+		scale   = flag.Float64("scale", 0.1, "workload scale factor (1.0 = paper size)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		outDir  = flag.String("out", "results", "artifact directory")
+		tsne    = flag.Bool("tsne", false, "include t-SNE in fig9 (slow)")
+		check   = flag.Bool("check", true, "assert the paper's qualitative shapes")
+		workers = flag.Int("workers", 0, "compute-engine worker lanes for the -bench-json run (0 = GOMAXPROCS); experiment paths use the default pool")
+		bjson   = flag.String("bench-json", "", "write a Mul/PartialFit benchmark snapshot (ns/op, allocs/op) to this file, e.g. BENCH_pr1.json, and exit")
 	)
 	flag.Parse()
+	if *bjson != "" {
+		if err := writeBenchJSON(*bjson, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}

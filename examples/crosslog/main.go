@@ -74,7 +74,7 @@ func main() {
 		lo, hi := w**stepsPerWindow, (w+1)**stepsPerWindow
 		win := series.Slice(lo, hi)
 		a := imrdmd.New(imrdmd.Options{
-			DT: prof.SampleInterval, MaxLevels: 7, MaxCycles: 2, UseSVHT: true, Parallel: true,
+			DT: prof.SampleInterval, MaxLevels: 7, MaxCycles: 2, UseSVHT: true, Parallel: true, Workers: 4,
 		})
 		// Stream in 1,000-step increments as the case study does.
 		first := *stepsPerWindow * 7 / 8

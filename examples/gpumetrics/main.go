@@ -52,7 +52,10 @@ func main() {
 	// The paper uses max_levels=9 for GPU metrics (more levels -> more
 	// modes, because the GPU profile carries more fast-band energy).
 	opts := imrdmd.Options{
-		DT: prof.SampleInterval, MaxLevels: 7, MaxCycles: 2, UseSVHT: true, Parallel: true,
+		DT: prof.SampleInterval, MaxLevels: 7, MaxCycles: 2, UseSVHT: true,
+		// One long-lived 4-lane pool (process-wide for Workers=4) serves
+		// the whole streamed run.
+		Parallel: true, Workers: 4,
 	}
 
 	// Streamed I-mrDMD.

@@ -66,7 +66,7 @@ func main() {
 	data := gen.Matrix(0, *steps)
 	series := imrdmd.FromDense(*nodes, *steps, data.Data)
 	a := imrdmd.New(imrdmd.Options{
-		DT: prof.SampleInterval, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: true,
+		DT: prof.SampleInterval, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: true, Workers: 4,
 	})
 	t0 := time.Now()
 	if err := a.InitialFit(series.Slice(0, *steps/2)); err != nil {

@@ -1,0 +1,3 @@
+module imrdmd
+
+go 1.24

@@ -30,8 +30,20 @@ type Options struct {
 	UseSVHT bool
 	// MinWindow stops recursion below this many columns.
 	MinWindow int
-	// Parallel decomposes sibling windows on separate goroutines.
+	// Parallel decomposes sibling windows concurrently on the analyzer's
+	// compute engine.
 	Parallel bool
+	// Workers sizes the analyzer's compute-engine worker pool — matrix
+	// kernels, sibling-window recursion and asynchronous recomputations
+	// all run on one long-lived pool of Workers−1 goroutines, with each
+	// calling goroutine contributing its own lane. 0 uses a
+	// GOMAXPROCS-sized pool. The pool is process-wide per Workers value:
+	// analyzers configured with the same count share the same pool
+	// workers (each concurrent caller still adds its one inline lane,
+	// and async recomputes drain on a per-analyzer lane). Each distinct
+	// Workers value pins one permanent pool for the process lifetime, so
+	// prefer a few fixed sizes over per-request values. See DESIGN.md §2.
+	Workers int
 
 	// DriftThreshold, when positive, recomputes previously fitted levels
 	// when the level-1 slow-mode drift exceeds it (Algorithm 1's
@@ -51,6 +63,7 @@ func (o Options) toCore() core.Options {
 		UseSVHT:       o.UseSVHT,
 		MinWindow:     o.MinWindow,
 		Parallel:      o.Parallel,
+		Workers:       o.Workers,
 	}
 }
 

@@ -39,16 +39,25 @@ func (inc *Incremental) AddSensors(rows *mat.Dense) error {
 	if rows.HasNaN() {
 		return errors.New("core: input contains NaN or Inf")
 	}
-	inc.raw = mat.VStack(inc.raw, rows)
-	newSub := rows.Subsample(inc.stride1)
+	grownRaw := mat.VStackWith(inc.ws, inc.raw, rows)
+	mat.PutDense(inc.ws, inc.raw)
+	inc.raw = grownRaw
+	newSub := mat.SubsampleWith(inc.ws, rows, inc.stride1)
 	// Keep the level-1 grid consistent: sub1 holds columns 0, s, 2s, …
 	if newSub.C != inc.sub1.C {
-		newSub = newSub.ColSlice(0, inc.sub1.C)
+		trimmed := mat.ColSliceWith(inc.ws, newSub, 0, inc.sub1.C)
+		mat.PutDense(inc.ws, newSub)
+		newSub = trimmed
 	}
-	inc.sub1 = mat.VStack(inc.sub1, newSub)
+	grownSub := mat.VStackWith(inc.ws, inc.sub1, newSub)
+	mat.PutDense(inc.ws, inc.sub1)
+	inc.sub1 = grownSub
 	inc.p = inc.raw.R
 	// The running SVD tracks X = sub1[:, :ns-1].
-	inc.isvd.AddRows(newSub.ColSlice(0, newSub.C-1))
+	newX := mat.ColSliceWith(inc.ws, newSub, 0, newSub.C-1)
+	inc.isvd.AddRows(newX)
+	mat.PutDense(inc.ws, newX)
+	mat.PutDense(inc.ws, newSub)
 	if err := inc.refreshLevel1(); err != nil {
 		return err
 	}

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
+	"imrdmd/internal/compute"
 	"imrdmd/internal/dmd"
 	"imrdmd/internal/mat"
 	"imrdmd/internal/svd"
@@ -42,6 +44,10 @@ type Incremental struct {
 
 	opts Options
 	p    int
+
+	eng  *compute.Engine    // long-lived worker pool shared by every layer
+	ws   *compute.Workspace // pooled scratch shared with the SVD and DMD layers
+	lane compute.Lane       // this analyzer's serial async-recompute lane
 
 	mu  sync.Mutex // guards all mutable state below
 	raw *mat.Dense // all absorbed data, P×T (kept for recompute and error reporting)
@@ -85,7 +91,12 @@ type UpdateStats struct {
 // NewIncremental creates an I-mrDMD analyzer; call InitialFit before
 // PartialFit.
 func NewIncremental(opts Options) *Incremental {
-	return &Incremental{opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	return &Incremental{
+		opts: opts,
+		eng:  opts.engine(),
+		ws:   compute.NewWorkspace(),
+	}
 }
 
 // InitialFit performs the batch mrDMD over the first window and seeds the
@@ -112,7 +123,9 @@ func (inc *Incremental) InitialFit(data *mat.Dense) error {
 	if ns < 2 {
 		return fmt.Errorf("core: level-1 sample grid too small (%d columns)", ns)
 	}
-	inc.isvd = svd.NewIncremental(inc.sub1.ColSlice(0, ns-1), inc.rankCap())
+	seed := mat.ColSliceWith(inc.ws, inc.sub1, 0, ns-1)
+	inc.isvd = svd.NewIncrementalWith(inc.eng, inc.ws, seed, inc.rankCap())
+	mat.PutDense(inc.ws, seed)
 
 	if err := inc.refreshLevel1(); err != nil {
 		return err
@@ -120,6 +133,7 @@ func (inc *Incremental) InitialFit(data *mat.Dense) error {
 	// Levels ≥ 2: halves of the residual, exactly as batch mrDMD does.
 	resid := inc.residualOf(0, t)
 	nodes, err := inc.subtree(resid, 0)
+	mat.PutDense(inc.ws, resid)
 	if err != nil {
 		return err
 	}
@@ -161,7 +175,9 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 		return stats, errors.New("core: input contains NaN or Inf")
 	}
 	oldT := inc.raw.C
-	inc.raw = mat.HStack(inc.raw, newData)
+	grown := mat.HStackWith(inc.ws, inc.raw, newData)
+	mat.PutDense(inc.ws, inc.raw)
+	inc.raw = grown
 	newT := inc.raw.C
 	stats.NewColumns = newData.C
 
@@ -176,17 +192,25 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 		newCols = append(newCols, idx)
 	}
 	if len(newCols) > 0 {
-		block := mat.NewDense(inc.p, len(newCols))
+		// Raw borrow: the gather loop below assigns every element.
+		block := mat.GetDenseRaw(inc.ws, inc.p, len(newCols))
 		for k, idx := range newCols {
-			block.SetCol(k, inc.raw.Col(idx))
+			for i := 0; i < inc.p; i++ {
+				block.Data[i*block.C+k] = inc.raw.Data[i*inc.raw.C+idx]
+			}
 		}
-		inc.sub1 = mat.HStack(inc.sub1, block)
+		grownSub := mat.HStackWith(inc.ws, inc.sub1, block)
+		mat.PutDense(inc.ws, inc.sub1)
+		mat.PutDense(inc.ws, block)
+		inc.sub1 = grownSub
 		inc.nextSample = newCols[len(newCols)-1] + inc.stride1
 		// The running SVD tracks X = sub1[:, :end-1]: the previous last
 		// column enters X now, and the newest column is held out as the
 		// final Y target.
 		ns := inc.sub1.C
-		inc.isvd.Update(inc.sub1.ColSlice(oldNS-1, ns-1))
+		upd := mat.ColSliceWith(inc.ws, inc.sub1, oldNS-1, ns-1)
+		inc.isvd.Update(upd)
+		mat.PutDense(inc.ws, upd)
 	}
 	stats.NewSamples = len(newCols)
 
@@ -198,7 +222,9 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 	// criterion). Measured on the subsampled grid so the check is O(ns),
 	// not O(T).
 	newSlow := inc.level1SlowOnGrid(oldNS)
-	stats.Drift = mat.Sub(oldSlow, newSlow).FrobNorm()
+	stats.Drift = frobDiff(oldSlow, newSlow)
+	mat.PutDense(inc.ws, oldSlow)
+	mat.PutDense(inc.ws, newSlow)
 	inc.driftLog = append(inc.driftLog, stats.Drift)
 
 	// Demote every pre-existing node one level: the new level 2 is the
@@ -212,6 +238,7 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 	// Fresh subtree over the new window's residual.
 	resid := inc.residualOf(oldT, newT)
 	nodes, err := inc.subtree(resid, oldT)
+	mat.PutDense(inc.ws, resid)
 	if err != nil {
 		return stats, err
 	}
@@ -223,13 +250,18 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 		inc.recomputes++
 		old := inc.segments[:len(inc.segments)-1]
 		if inc.AsyncRecompute {
+			// Recomputes run on this analyzer's own background lane:
+			// serially in submission order, each parallelizing internally
+			// through the engine pool, so Workers still bounds total
+			// concurrency — and a recompute blocked on this analyzer's
+			// mutex cannot stall other analyzers sharing the engine.
 			for _, seg := range old {
 				seg := seg
 				inc.wg.Add(1)
-				go func() {
+				inc.lane.Go(func() {
 					defer inc.wg.Done()
 					inc.recomputeSegment(seg)
-				}()
+				})
 			}
 		} else {
 			for _, seg := range old {
@@ -251,6 +283,7 @@ func (inc *Incremental) recomputeSegment(seg *segment) {
 func (inc *Incremental) recomputeSegmentLocked(seg *segment) {
 	resid := inc.residualOf(seg.start, seg.end)
 	nodes, err := inc.subtree(resid, seg.start)
+	mat.PutDense(inc.ws, resid)
 	if err != nil {
 		return // keep the stale subtree; reconstruction degrades gracefully
 	}
@@ -277,32 +310,35 @@ func (inc *Incremental) recomputeSegmentLocked(seg *segment) {
 // is split in half and each half is decomposed starting at level 2,
 // matching the batch recursion shape.
 func (inc *Incremental) subtree(resid *mat.Dense, start int) ([]*Node, error) {
-	n := resid.C
-	tp := newTokenPool(inc.opts)
-	if inc.opts.MaxLevels < 2 || n < 2*inc.opts.MinWindow {
+	if inc.opts.MaxLevels < 2 || resid.C < 2*inc.opts.MinWindow {
 		return nil, nil
 	}
-	half := n / 2
-	left, err := decompose(resid.ColSlice(0, half), 2, start, inc.opts, tp)
-	if err != nil {
-		return nil, err
+	return splitDecompose(resid, 2, start, inc.opts, inc.eng, inc.ws)
+}
+
+// frobDiff returns ‖a − b‖_F without materializing the difference.
+func frobDiff(a, b *mat.Dense) float64 {
+	var s float64
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		s += d * d
 	}
-	right, err := decompose(resid.ColSlice(half, n), 2, start+half, inc.opts, tp)
-	if err != nil {
-		return nil, err
-	}
-	return append(left, right...), nil
+	return math.Sqrt(s)
 }
 
 // refreshLevel1 recomputes the level-1 DMD and slow modes from the
 // incremental SVD state.
 func (inc *Incremental) refreshLevel1() error {
 	t := inc.raw.C
-	res := inc.isvd.Result()
+	// The view is read-only and consumed before the next isvd update, so
+	// no defensive clone of the (large) U/V factors is needed.
+	res := inc.isvd.ResultView()
 	dec, err := dmd.FromSVD(res, inc.sub1, dmd.Options{
 		DT:      float64(inc.stride1) * inc.opts.DT,
 		Rank:    inc.opts.Rank,
 		UseSVHT: inc.opts.UseSVHT,
+		Engine:  inc.eng,
+		Ws:      inc.ws,
 	})
 	if err != nil {
 		return err
@@ -323,26 +359,33 @@ func (inc *Incremental) refreshLevel1() error {
 // level1SlowOnGrid evaluates the level-1 slow reconstruction on the first
 // ns points of the level-1 sample grid.
 func (inc *Incremental) level1SlowOnGrid(ns int) *mat.Dense {
-	times := make([]float64, ns)
+	times := inc.ws.GetF64(ns)
 	for k := range times {
 		times[k] = float64(k*inc.stride1) * inc.opts.DT
 	}
-	return dmd.ReconstructModes(inc.level1.Modes, inc.p, times)
+	out := mat.GetDenseRaw(inc.ws, inc.p, ns) // ReconstructModesInto zeroes it
+	dmd.ReconstructModesInto(out, inc.level1.Modes, times)
+	inc.ws.PutF64(times)
+	return out
 }
 
 // residualOf returns raw[:, lo:hi] minus the level-1 slow reconstruction
-// over that window.
+// over that window, in a workspace-borrowed matrix the caller must
+// PutDense back.
 func (inc *Incremental) residualOf(lo, hi int) *mat.Dense {
-	resid := inc.raw.ColSlice(lo, hi)
+	resid := mat.ColSliceWith(inc.ws, inc.raw, lo, hi)
 	if len(inc.level1.Modes) == 0 {
 		return resid
 	}
-	times := make([]float64, hi-lo)
+	times := inc.ws.GetF64(hi - lo)
 	for k := range times {
 		times[k] = float64(lo+k) * inc.opts.DT
 	}
-	recon := dmd.ReconstructModes(inc.level1.Modes, inc.p, times)
+	recon := mat.GetDenseRaw(inc.ws, inc.p, hi-lo) // ReconstructModesInto zeroes it
+	dmd.ReconstructModesInto(recon, inc.level1.Modes, times)
 	mat.SubInPlace(resid, recon)
+	mat.PutDense(inc.ws, recon)
+	inc.ws.PutF64(times)
 	return resid
 }
 

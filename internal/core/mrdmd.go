@@ -15,9 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"runtime"
-	"sync"
 
+	"imrdmd/internal/compute"
 	"imrdmd/internal/dmd"
 	"imrdmd/internal/mat"
 )
@@ -44,10 +43,25 @@ type Options struct {
 	UseSVHT bool
 	// MinWindow stops recursion when a window has fewer columns.
 	MinWindow int
-	// Parallel processes the two halves of each split concurrently
-	// (bounded by GOMAXPROCS); the recursion is embarrassingly parallel,
-	// as the paper notes.
+	// Parallel processes the two halves of each split concurrently on the
+	// compute engine; the recursion is embarrassingly parallel, as the
+	// paper notes.
 	Parallel bool
+	// Workers bounds the engine lane count for everything this analysis
+	// runs — matrix kernels, sibling windows, async recomputes. 0 uses
+	// the GOMAXPROCS-sized shared pool.
+	Workers int
+	// Engine overrides the worker pool directly (advanced; takes
+	// precedence over Workers). Shared across calls, never closed here.
+	Engine *compute.Engine
+}
+
+// engine resolves the configured compute engine.
+func (o Options) engine() *compute.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return compute.Shared(o.Workers)
 }
 
 // withDefaults fills unset fields.
@@ -94,7 +108,9 @@ type Tree struct {
 	Opts  Options
 }
 
-// Decompose runs batch mrDMD on data (P×T).
+// Decompose runs batch mrDMD on data (P×T) on the engine configured by
+// opts (a long-lived shared pool by default — no goroutines are spawned
+// per call).
 func Decompose(data *mat.Dense, opts Options) (*Tree, error) {
 	opts = opts.withDefaults()
 	p, t := data.Dims()
@@ -105,49 +121,21 @@ func Decompose(data *mat.Dense, opts Options) (*Tree, error) {
 		return nil, errors.New("core: input contains NaN or Inf")
 	}
 	work := data.Clone()
-	nodes, err := decompose(work, 1, 0, opts, newTokenPool(opts))
+	nodes, err := decompose(work, 1, 0, opts, opts.engine(), compute.NewWorkspace())
 	if err != nil {
 		return nil, err
 	}
 	return &Tree{Nodes: nodes, P: p, T: t, Opts: opts}, nil
 }
 
-// tokenPool bounds the number of concurrently processing subtrees.
-type tokenPool chan struct{}
-
-func newTokenPool(opts Options) tokenPool {
-	if !opts.Parallel {
-		return nil
-	}
-	n := runtime.GOMAXPROCS(0)
-	if n < 2 {
-		return nil
-	}
-	tp := make(tokenPool, n-1)
-	return tp
-}
-
-// tryAcquire reports whether a concurrency slot was free.
-func (tp tokenPool) tryAcquire() bool {
-	if tp == nil {
-		return false
-	}
-	select {
-	case tp <- struct{}{}:
-		return true
-	default:
-		return false
-	}
-}
-
-func (tp tokenPool) release() { <-tp }
-
 // decompose processes one window (data is the residual for this window and
 // will be mutated by slow-mode subtraction), returning the flattened nodes
 // of the subtree. start is the window's global column offset, level its
-// 1-based depth.
-func decompose(data *mat.Dense, level, start int, opts Options, tp tokenPool) ([]*Node, error) {
-	node, residual, err := processWindow(data, level, start, opts)
+// 1-based depth. Sibling subtrees run concurrently on the engine when
+// opts.Parallel is set; the workspace is shared (it is concurrency-safe)
+// so every branch draws scratch from one pool.
+func decompose(data *mat.Dense, level, start int, opts Options, eng *compute.Engine, ws *compute.Workspace) ([]*Node, error) {
+	node, residual, err := processWindow(data, level, start, opts, eng, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -156,58 +144,63 @@ func decompose(data *mat.Dense, level, start int, opts Options, tp tokenPool) ([
 	if level >= opts.MaxLevels || n < 2*opts.MinWindow {
 		return nodes, nil
 	}
+	children, err := splitDecompose(residual, level+1, start, opts, eng, ws)
+	if err != nil {
+		return nil, err
+	}
+	return append(nodes, children...), nil
+}
+
+// splitDecompose halves resid and decomposes both halves at the given
+// level — concurrently on the engine when opts.Parallel is set. Used by
+// the batch recursion and by the incremental subtree fit.
+func splitDecompose(resid *mat.Dense, level, start int, opts Options, eng *compute.Engine, ws *compute.Workspace) ([]*Node, error) {
+	n := resid.C
 	half := n / 2
-	left := residual.ColSlice(0, half)
-	right := residual.ColSlice(half, n)
+	left := mat.ColSliceWith(ws, resid, 0, half)
+	right := mat.ColSliceWith(ws, resid, half, n)
 
-	if tp.tryAcquire() {
-		var (
-			wg       sync.WaitGroup
-			rnodes   []*Node
-			rightErr error
-		)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer tp.release()
-			rnodes, rightErr = decompose(right, level+1, start+half, opts, tp)
-		}()
-		lnodes, leftErr := decompose(left, level+1, start, opts, tp)
-		wg.Wait()
-		if leftErr != nil {
-			return nil, leftErr
-		}
-		if rightErr != nil {
-			return nil, rightErr
-		}
-		nodes = append(nodes, lnodes...)
-		nodes = append(nodes, rnodes...)
-		return nodes, nil
+	var (
+		lnodes, rnodes    []*Node
+		leftErr, rightErr error
+	)
+	runLeft := func() {
+		lnodes, leftErr = decompose(left, level, start, opts, eng, ws)
+		mat.PutDense(ws, left)
 	}
-
-	lnodes, err := decompose(left, level+1, start, opts, tp)
-	if err != nil {
-		return nil, err
+	runRight := func() {
+		rnodes, rightErr = decompose(right, level, start+half, opts, eng, ws)
+		mat.PutDense(ws, right)
 	}
-	rnodes, err := decompose(right, level+1, start+half, opts, tp)
-	if err != nil {
-		return nil, err
+	if opts.Parallel && eng.Workers() > 1 {
+		eng.Do(runLeft, runRight)
+	} else {
+		runLeft()
+		runRight()
 	}
-	nodes = append(nodes, lnodes...)
-	nodes = append(nodes, rnodes...)
-	return nodes, nil
+	if leftErr != nil {
+		return nil, leftErr
+	}
+	if rightErr != nil {
+		return nil, rightErr
+	}
+	return append(lnodes, rnodes...), nil
 }
 
 // processWindow runs the per-window step: subsample, DMD, slow-mode
 // selection, slow-part subtraction. It returns the node and the residual
 // (data minus slow reconstruction; aliases the mutated input).
-func processWindow(data *mat.Dense, level, start int, opts Options) (*Node, *mat.Dense, error) {
+func processWindow(data *mat.Dense, level, start int, opts Options, eng *compute.Engine, ws *compute.Workspace) (*Node, *mat.Dense, error) {
 	n := data.C
 	stride := windowStride(n, opts)
-	sub := data.Subsample(stride)
+	sub := mat.SubsampleWith(ws, data, stride)
 	dtSub := float64(stride) * opts.DT
 
-	dec, err := dmd.Compute(sub, dmd.Options{DT: dtSub, Rank: opts.Rank, UseSVHT: opts.UseSVHT})
+	dec, err := dmd.Compute(sub, dmd.Options{
+		DT: dtSub, Rank: opts.Rank, UseSVHT: opts.UseSVHT,
+		Engine: eng, Ws: ws,
+	})
+	mat.PutDense(ws, sub)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: level %d window [%d,%d): %w", level, start, start+n, err)
 	}
@@ -223,12 +216,15 @@ func processWindow(data *mat.Dense, level, start int, opts Options) (*Node, *mat
 		NumAllModes: len(dec.Modes),
 	}
 	if len(slow) > 0 {
-		times := make([]float64, n)
+		times := ws.GetF64(n)
 		for k := range times {
 			times[k] = float64(k) * opts.DT
 		}
-		recon := dmd.ReconstructModes(slow, data.R, times)
+		recon := mat.GetDenseRaw(ws, data.R, n) // ReconstructModesInto zeroes it
+		dmd.ReconstructModesInto(recon, slow, times)
 		mat.SubInPlace(data, recon)
+		mat.PutDense(ws, recon)
+		ws.PutF64(times)
 	}
 	return node, data, nil
 }

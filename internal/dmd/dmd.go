@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"imrdmd/internal/compute"
 	"imrdmd/internal/eig"
 	"imrdmd/internal/mat"
 	"imrdmd/internal/svd"
@@ -33,6 +34,12 @@ type Options struct {
 	Rank int
 	// UseSVHT truncates at the Gavish–Donoho optimal hard threshold.
 	UseSVHT bool
+	// Engine routes the parallel kernel sections; nil uses the shared
+	// default pool.
+	Engine *compute.Engine
+	// Ws supplies pooled scratch buffers for the decomposition's
+	// intermediates; nil allocates.
+	Ws *compute.Workspace
 }
 
 // Decomposition is the result of exact DMD on a snapshot matrix.
@@ -54,9 +61,19 @@ func Compute(data *mat.Dense, opts Options) (*Decomposition, error) {
 	if t < 2 {
 		return nil, ErrTooFewSnapshots
 	}
-	x := data.ColSlice(0, t-1)
-	s := svd.Compute(x)
+	e, ws := opts.engine(), opts.Ws
+	x := mat.ColSliceWith(ws, data, 0, t-1)
+	s := svd.ComputeWith(e, ws, x)
+	mat.PutDense(ws, x)
 	return FromSVD(s, data, opts)
+}
+
+// engine resolves the configured engine, defaulting to the shared pool.
+func (o Options) engine() *compute.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return compute.Default()
 }
 
 // FromSVD finishes a DMD given the (possibly incrementally maintained)
@@ -73,7 +90,8 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 	if t < 2 {
 		return nil, ErrTooFewSnapshots
 	}
-	y := snapshots.ColSlice(1, t)
+	e, ws := opts.engine(), opts.Ws
+	y := mat.ColSliceWith(ws, snapshots, 1, t)
 	rank := s.Rank()
 	if opts.UseSVHT {
 		rank = svd.SVHTRank(s.S, s.U.R, s.V.R)
@@ -87,15 +105,24 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 	if rank > s.Rank() {
 		rank = s.Rank()
 	}
-	tr := s.Truncate(rank)
+	tr := s.TruncateWith(ws, rank)
+	putTr := func() {
+		if tr != s {
+			mat.PutDense(ws, tr.U)
+			mat.PutDense(ws, tr.V)
+		}
+	}
 	// Guard degenerate zero data: all-zero singular spectrum.
 	if tr.S[0] == 0 {
+		putTr()
+		mat.PutDense(ws, y)
 		return &Decomposition{Modes: nil, P: p, T: t, DT: opts.DT, Rank: 0}, nil
 	}
 
 	// Ã = Uᵀ Y V Σ⁻¹ (r×r).
-	uty := mat.MulT(tr.U, y)      // r×(t-1)
-	utyv := mat.Mul(uty, tr.V)    // r×r
+	uty := mat.MulTWith(e, ws, tr.U, y)   // r×(t-1)
+	utyv := mat.MulWith(e, ws, uty, tr.V) // r×r
+	mat.PutDense(ws, uty)
 	for i := 0; i < utyv.R; i++ { // scale columns by Σ⁻¹
 		row := utyv.Row(i)
 		for j := range row {
@@ -103,19 +130,26 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 		}
 	}
 
-	vals, vecs := eig.Nonsymmetric(utyv)
+	vals, vecs := eig.NonsymmetricWith(ws, utyv) // clones utyv internally
+	mat.PutDense(ws, utyv)
 
 	// Φ = Y V Σ⁻¹ W (exact DMD modes).
-	yvs := mat.Mul(y, tr.V) // p×r
+	yvs := mat.MulWith(e, ws, y, tr.V) // p×r
+	mat.PutDense(ws, y)
 	for i := 0; i < yvs.R; i++ {
 		row := yvs.Row(i)
 		for j := range row {
 			row[j] /= tr.S[j]
 		}
 	}
-	phi := mat.CMul(mat.Complex(yvs), vecs) // p×r
+	putTr()
+	cyvs := mat.ComplexWith(ws, yvs)
+	mat.PutDense(ws, yvs)
+	phi := mat.CMulWith(ws, cyvs, vecs) // p×r
+	mat.PutCDense(ws, cyvs)
+	mat.PutCDense(ws, vecs)
 
-	b := optimalAmplitudes(phi, vals, snapshots)
+	b := optimalAmplitudes(ws, phi, vals, snapshots)
 
 	modes := make([]Mode, 0, len(vals))
 	for j, lam := range vals {
@@ -137,6 +171,7 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 			Power:  pow,
 		})
 	}
+	mat.PutCDense(ws, phi)
 	return &Decomposition{Modes: modes, P: p, T: t, DT: opts.DT, Rank: rank}, nil
 }
 
@@ -149,12 +184,12 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 //
 // with ∘ the Hadamard product; the system matrix is positive
 // semidefinite by the Schur product theorem.
-func optimalAmplitudes(phi *mat.CDense, vals []complex128, snapshots *mat.Dense) []complex128 {
+func optimalAmplitudes(ws *compute.Workspace, phi *mat.CDense, vals []complex128, snapshots *mat.Dense) []complex128 {
 	p, t := snapshots.Dims()
 	r := len(vals)
 	// Vandermonde V (r×t): powers of the discrete eigenvalues, with a
 	// magnitude clamp so explosive spurious eigenvalues cannot overflow.
-	vand := mat.NewCDense(r, t)
+	vand := mat.GetCDense(ws, r, t)
 	for i, lam := range vals {
 		w := complex(1, 0)
 		for k := 0; k < t; k++ {
@@ -166,7 +201,7 @@ func optimalAmplitudes(phi *mat.CDense, vals []complex128, snapshots *mat.Dense)
 		}
 	}
 	// G1 = ΦᴴΦ (r×r), G2 = V Vᴴ (r×r).
-	g1 := mat.NewCDense(r, r)
+	g1 := mat.GetCDense(ws, r, r)
 	for i := 0; i < r; i++ {
 		for j := 0; j < r; j++ {
 			var s complex128
@@ -176,7 +211,7 @@ func optimalAmplitudes(phi *mat.CDense, vals []complex128, snapshots *mat.Dense)
 			g1.Set(i, j, s)
 		}
 	}
-	g2 := mat.NewCDense(r, r)
+	g2 := mat.GetCDense(ws, r, r)
 	for i := 0; i < r; i++ {
 		for j := 0; j < r; j++ {
 			var s complex128
@@ -187,7 +222,7 @@ func optimalAmplitudes(phi *mat.CDense, vals []complex128, snapshots *mat.Dense)
 		}
 	}
 	// System matrix P = G1 ∘ conj(G2); rhs q = conj(diag(V Xᴴ Φ)).
-	sys := mat.NewCDense(r, r)
+	sys := mat.GetCDense(ws, r, r)
 	for i := 0; i < r; i++ {
 		for j := 0; j < r; j++ {
 			sys.Set(i, j, g1.At(i, j)*cmplx.Conj(g2.At(i, j)))
@@ -215,7 +250,12 @@ func optimalAmplitudes(phi *mat.CDense, vals []complex128, snapshots *mat.Dense)
 	for i := 0; i < r; i++ {
 		sys.Set(i, i, sys.At(i, i)+jitter)
 	}
-	return mat.CLUFactor(sys).Solve(q)
+	b := mat.CLUFactorInPlace(sys).Solve(q) // consumes sys's storage
+	mat.PutCDense(ws, vand)
+	mat.PutCDense(ws, g1)
+	mat.PutCDense(ws, g2)
+	mat.PutCDense(ws, sys)
+	return b
 }
 
 // logLambda computes ψ = ln(λ)/Δt with a floor on |λ| so that numerically
@@ -240,6 +280,25 @@ func (d *Decomposition) Reconstruct(times []float64) *mat.Dense {
 // ReconstructModes evaluates a subset of modes at the given times.
 func ReconstructModes(modes []Mode, p int, times []float64) *mat.Dense {
 	out := mat.NewDense(p, len(times))
+	reconstructInto(out, modes, times)
+	return out
+}
+
+// ReconstructModesInto evaluates modes at the given times into out
+// (p×len(times)), overwriting its contents — the allocation-free variant
+// for pooled reconstruction scratch.
+func ReconstructModesInto(out *mat.Dense, modes []Mode, times []float64) {
+	if out.C != len(times) {
+		panic("dmd: ReconstructModesInto shape mismatch")
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	reconstructInto(out, modes, times)
+}
+
+func reconstructInto(out *mat.Dense, modes []Mode, times []float64) {
+	p := out.R
 	for _, m := range modes {
 		for k, t := range times {
 			w := expPsiT(m.Psi, t) * m.Amp
@@ -251,7 +310,6 @@ func ReconstructModes(modes []Mode, p int, times []float64) *mat.Dense {
 			}
 		}
 	}
-	return out
 }
 
 // expPsiT computes e^{ψt} with the real exponent clamped so growing modes

@@ -228,7 +228,7 @@ func TestHessenbergPreservesEigenvalues(t *testing.T) {
 		}
 	}
 	va, _ := Nonsymmetric(a)
-	vh := hessenbergQREigenvalues(mat.Complex(h))
+	vh := hessenbergQREigenvalues(nil, mat.Complex(h))
 	sortC := func(v []complex128) {
 		sort.Slice(v, func(i, j int) bool {
 			if real(v[i]) != real(v[j]) {

@@ -3,8 +3,8 @@ package eig
 import (
 	"math"
 	"math/cmplx"
-	"math/rand"
 
+	"imrdmd/internal/compute"
 	"imrdmd/internal/mat"
 )
 
@@ -24,21 +24,34 @@ import (
 // inverse iteration may return linearly dependent vectors; DMD tolerates
 // this (the corresponding modes coincide physically).
 func Nonsymmetric(a *mat.Dense) (values []complex128, vectors *mat.CDense) {
+	return NonsymmetricWith(nil, a)
+}
+
+// NonsymmetricWith is Nonsymmetric with all internal scratch — the
+// Hessenberg reduction, QR rotation buffers, shifted systems and inverse
+// iteration vectors — borrowed from ws, and the returned eigenvector
+// matrix borrowed from ws as well (PutCDense it back when done; with nil
+// ws everything is plainly allocated and owned).
+func NonsymmetricWith(ws *compute.Workspace, a *mat.Dense) (values []complex128, vectors *mat.CDense) {
 	if a.R != a.C {
 		panic("eig: Nonsymmetric requires a square matrix")
 	}
 	n := a.R
 	if n == 0 {
-		return nil, mat.NewCDense(0, 0)
+		return nil, mat.GetCDense(ws, 0, 0)
 	}
 	if n == 1 {
-		v := mat.NewCDense(1, 1)
+		v := mat.GetCDense(ws, 1, 1)
 		v.Set(0, 0, 1)
 		return []complex128{complex(a.At(0, 0), 0)}, v
 	}
-	h := hessenberg(a.Clone())
-	values = hessenbergQREigenvalues(mat.Complex(h))
-	vectors = inverseIterationVectors(a, values)
+	hbuf := mat.CloneWith(ws, a)
+	h := hessenberg(hbuf)
+	ch := mat.ComplexWith(ws, h)
+	mat.PutDense(ws, hbuf)
+	values = hessenbergQREigenvalues(ws, ch)
+	mat.PutCDense(ws, ch)
+	vectors = inverseIterationVectors(ws, a, values)
 	return values, vectors
 }
 
@@ -107,9 +120,16 @@ func hessenberg(a *mat.Dense) *mat.Dense {
 // hessenbergQREigenvalues runs shifted QR iteration on a complex upper
 // Hessenberg matrix until it deflates to triangular, returning the
 // diagonal as the eigenvalues.
-func hessenbergQREigenvalues(h *mat.CDense) []complex128 {
+func hessenbergQREigenvalues(ws *compute.Workspace, h *mat.CDense) []complex128 {
 	n := h.R
 	values := make([]complex128, n)
+	// Rotation buffers shared by every QR step.
+	cs := ws.GetC128(n)
+	sn := ws.GetC128(n)
+	defer func() {
+		ws.PutC128(cs)
+		ws.PutC128(sn)
+	}()
 	hi := n - 1 // active block is h[0:hi+1, 0:hi+1]
 	iterSinceDeflate := 0
 	const maxIterPerEig = 60
@@ -169,7 +189,7 @@ func hessenbergQREigenvalues(h *mat.CDense) []complex128 {
 			iterSinceDeflate = 0
 			continue
 		}
-		qrStepHessenberg(h, hi, shift)
+		qrStepHessenberg(h, hi, shift, cs, sn)
 	}
 	values[0] = h.At(0, 0)
 	return values
@@ -180,13 +200,13 @@ func hessenbergQREigenvalues(h *mat.CDense) []complex128 {
 // Givens rotations preserve the Hessenberg structure. Only the active
 // block is touched; columns right of it belong to already-deflated
 // eigenvalues and do not influence the remaining spectrum.
-func qrStepHessenberg(h *mat.CDense, hi int, shift complex128) {
+func qrStepHessenberg(h *mat.CDense, hi int, shift complex128, cs, sn []complex128) {
 	m := hi + 1
 	for i := 0; i < m; i++ {
 		h.Set(i, i, h.At(i, i)-shift)
 	}
-	cs := make([]complex128, m-1)
-	sn := make([]complex128, m-1)
+	cs = cs[:m-1]
+	sn = sn[:m-1]
 	// QR pass: eliminate each subdiagonal entry with a row rotation.
 	for k := 0; k < m-1; k++ {
 		c, s := givens(h.At(k, k), h.At(k+1, k))
@@ -237,28 +257,44 @@ func givens(x, y complex128) (c, s complex128) {
 // inverseIterationVectors computes a right eigenvector for each eigenvalue
 // by inverse iteration with a complex LU solve on (A − λ̃I), where λ̃ is
 // the eigenvalue perturbed slightly off the exact value for stability.
-func inverseIterationVectors(a *mat.Dense, values []complex128) *mat.CDense {
+func inverseIterationVectors(ws *compute.Workspace, a *mat.Dense, values []complex128) *mat.CDense {
 	n := a.R
-	vectors := mat.NewCDense(n, len(values))
-	rng := rand.New(rand.NewSource(1))
+	vectors := mat.GetCDense(ws, n, len(values))
 	anorm := a.FrobNorm()
 	if anorm == 0 {
 		anorm = 1
 	}
+	// Template copy of A and a reusable shifted system: each eigenvalue
+	// re-fills `shifted` and factors it in place, so the whole sweep
+	// touches only these buffers.
+	ca := mat.ComplexWith(ws, a)
+	shifted := mat.GetCDense(ws, n, n)
+	v := ws.GetC128(n)
+	w := ws.GetC128(n)
+	// Deterministic start vectors via a tiny xorshift PRNG — same
+	// reproducibility as the previous seeded source, no allocation.
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(int64(seed)) / float64(1<<63)
+	}
+	var lu mat.CLU // pivot storage reused across all eigenvalues
 	for j, lam := range values {
 		eps := complex(1e-10*anorm, 1e-10*anorm)
-		shifted := mat.Complex(a)
+		copy(shifted.Data, ca.Data)
 		for i := 0; i < n; i++ {
 			shifted.Set(i, i, shifted.At(i, i)-(lam+eps))
 		}
-		lu := mat.CLUFactor(shifted)
-		v := make([]complex128, n)
+		lu.FactorInPlace(shifted)
 		for i := range v {
-			v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			v[i] = complex(next(), next())
 		}
 		normalizeC(v)
 		for iter := 0; iter < 4; iter++ {
-			v = lu.Solve(v)
+			lu.SolveInto(w, v)
+			v, w = w, v
 			normalizeC(v)
 		}
 		// Fix the phase so the largest component is real positive; makes
@@ -280,6 +316,10 @@ func inverseIterationVectors(a *mat.Dense, values []complex128) *mat.CDense {
 			vectors.Set(i, j, v[i])
 		}
 	}
+	ws.PutC128(v)
+	ws.PutC128(w)
+	mat.PutCDense(ws, shifted)
+	mat.PutCDense(ws, ca)
 	return vectors
 }
 

@@ -1,0 +1,65 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDense(r, c int, seed int64) *Dense {
+	return randDense(rand.New(rand.NewSource(seed)), r, c)
+}
+
+func BenchmarkMul(b *testing.B) {
+	for _, n := range []int{64, 256, 512} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			a := benchDense(n, n, 1)
+			c := benchDense(n, n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = Mul(a, c)
+			}
+		})
+	}
+}
+
+func BenchmarkMulInto(b *testing.B) {
+	for _, n := range []int{64, 256, 512} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			a := benchDense(n, n, 1)
+			c := benchDense(n, n, 2)
+			dst := NewDense(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulInto(dst, a, c)
+			}
+		})
+	}
+}
+
+func BenchmarkMulT(b *testing.B) {
+	for _, n := range []int{64, 256, 512} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			a := benchDense(n, n, 1)
+			c := benchDense(n, n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = MulT(a, c)
+			}
+		})
+	}
+}
+
+func benchSize(n int) string {
+	switch n {
+	case 64:
+		return "64x64"
+	case 256:
+		return "256x256"
+	case 512:
+		return "512x512"
+	}
+	return "n"
+}

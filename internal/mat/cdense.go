@@ -60,6 +60,12 @@ func CMul(a, b *CDense) *CDense {
 		panic("mat: CMul inner dimension mismatch")
 	}
 	out := NewCDense(a.R, b.C)
+	cmulInto(out, a, b)
+	return out
+}
+
+// cmulInto accumulates a*b into out, which must be zeroed.
+func cmulInto(out, a, b *CDense) {
 	n := b.C
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
@@ -74,7 +80,6 @@ func CMul(a, b *CDense) *CDense {
 			}
 		}
 	}
-	return out
 }
 
 // CMulVec returns a*x.
@@ -131,12 +136,33 @@ type CLU struct {
 // eigenvalue) stays finite; callers that need exact singularity detection
 // can check MinPivot.
 func CLUFactor(a *CDense) *CLU {
+	return CLUFactorInPlace(a.Clone())
+}
+
+// CLUFactorInPlace factors a in place (a's storage becomes the packed LU
+// and must not be used as a matrix afterwards) — the low-allocation
+// variant for pooled or scratch inputs.
+func CLUFactorInPlace(a *CDense) *CLU {
+	f := &CLU{}
+	f.FactorInPlace(a)
+	return f
+}
+
+// FactorInPlace (re)factors a in place into f, reusing f's pivot storage
+// when capacities allow. Repeated factorizations of equal-size systems —
+// inverse iteration's per-eigenvalue solves — allocate nothing.
+func (f *CLU) FactorInPlace(a *CDense) {
 	if a.R != a.C {
 		panic("mat: CLUFactor requires a square matrix")
 	}
 	n := a.R
-	lu := a.Clone()
-	piv := make([]int, n)
+	lu := a
+	if cap(f.Piv) >= n {
+		f.Piv = f.Piv[:n]
+	} else {
+		f.Piv = make([]int, n)
+	}
+	piv := f.Piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -175,16 +201,21 @@ func CLUFactor(a *CDense) *CLU {
 			}
 		}
 	}
-	return &CLU{LU: lu, Piv: piv, Sign: sign}
+	f.LU, f.Sign = lu, sign
 }
 
 // Solve solves A x = b using the factorization.
 func (f *CLU) Solve(b []complex128) []complex128 {
+	return f.SolveInto(make([]complex128, f.LU.R), b)
+}
+
+// SolveInto solves A x = b into the provided x (len n, distinct from b)
+// and returns it, allocating nothing.
+func (f *CLU) SolveInto(x, b []complex128) []complex128 {
 	n := f.LU.R
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("mat: CLU.Solve dimension mismatch")
 	}
-	x := make([]complex128, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.Piv[i]]
 	}

@@ -1,74 +1,91 @@
 package mat
 
 import (
-	"runtime"
-	"sync"
+	"unsafe"
+
+	"imrdmd/internal/compute"
 )
 
-// parallelThreshold is the flop count above which Mul fans work out to
-// worker goroutines. Below it the goroutine overhead dominates.
+// parallelThreshold is the flop count above which the multiply kernels fan
+// work out to the engine's worker pool. Below it the handoff overhead
+// dominates.
 const parallelThreshold = 1 << 18
 
 // Mul returns a*b using a blocked i-k-j kernel, parallelized over row
-// bands when the problem is large enough.
+// bands on the shared compute engine when the problem is large enough.
 func Mul(a, b *Dense) *Dense {
+	return MulWith(compute.Default(), nil, a, b)
+}
+
+// MulWith computes a*b on engine e, borrowing the result from ws (pass
+// nil ws to allocate). The caller owns the result; if it came from a
+// workspace, return it with PutDense when done.
+func MulWith(e *compute.Engine, ws *compute.Workspace, a, b *Dense) *Dense {
 	if a.C != b.R {
 		panic("mat: Mul inner dimension mismatch")
 	}
-	out := NewDense(a.R, b.C)
-	mulInto(out, a, b)
+	out := getDenseRaw(ws, a.R, b.C)
+	mulIntoWith(e, out, a, b)
 	return out
 }
 
 // MulInto computes dst = a*b, reusing dst's storage. dst must be a.R×b.C
-// and must not alias a or b.
+// and must not alias a or b (aliasing panics).
 func MulInto(dst, a, b *Dense) {
+	MulIntoWith(compute.Default(), dst, a, b)
+}
+
+// MulIntoWith computes dst = a*b on engine e. dst's prior contents are
+// overwritten band-by-band inside the kernel — there is no separate
+// zeroing pass — so dst may come straight from a workspace. dst must not
+// alias a or b.
+func MulIntoWith(e *compute.Engine, dst, a, b *Dense) {
 	if a.C != b.R {
 		panic("mat: MulInto inner dimension mismatch")
 	}
 	if dst.R != a.R || dst.C != b.C {
 		panic("mat: MulInto output shape mismatch")
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
+	if overlaps(dst.Data, a.Data) || overlaps(dst.Data, b.Data) {
+		panic("mat: MulInto destination aliases an operand")
 	}
-	mulInto(dst, a, b)
+	mulIntoWith(e, dst, a, b)
 }
 
-func mulInto(out, a, b *Dense) {
+// overlaps reports whether the backing arrays of x and y share memory.
+func overlaps(x, y []float64) bool {
+	if len(x) == 0 || len(y) == 0 {
+		return false
+	}
+	x0 := uintptr(unsafe.Pointer(&x[0]))
+	x1 := x0 + uintptr(len(x))*unsafe.Sizeof(x[0])
+	y0 := uintptr(unsafe.Pointer(&y[0]))
+	y1 := y0 + uintptr(len(y))*unsafe.Sizeof(y[0])
+	return x0 < y1 && y0 < x1
+}
+
+func mulIntoWith(e *compute.Engine, out, a, b *Dense) {
 	flops := a.R * a.C * b.C
-	workers := runtime.GOMAXPROCS(0)
-	if flops < parallelThreshold || workers <= 1 || a.R < 2 {
+	if flops < parallelThreshold || e.Workers() <= 1 || a.R < 2 {
 		mulRange(out, a, b, 0, a.R)
 		return
 	}
-	if workers > a.R {
-		workers = a.R
-	}
-	var wg sync.WaitGroup
-	chunk := (a.R + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.R)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRange(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	e.ParallelFor(a.R, func(lo, hi int) {
+		mulRange(out, a, b, lo, hi)
+	})
 }
 
-// mulRange computes rows [lo,hi) of out += a*b with an ikj loop order so
-// the inner loop streams through contiguous rows of b and out.
+// mulRange computes rows [lo,hi) of out = a*b with an ikj loop order so
+// the inner loop streams through contiguous rows of b and out. Each output
+// row is zeroed just before accumulation, so out need not be pre-zeroed.
 func mulRange(out, a, b *Dense, lo, hi int) {
 	n := b.C
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
 		for k, aik := range arow {
 			if aik == 0 {
 				continue
@@ -83,41 +100,38 @@ func mulRange(out, a, b *Dense, lo, hi int) {
 
 // MulT returns aᵀ*b without materializing the transpose.
 func MulT(a, b *Dense) *Dense {
+	return MulTWith(compute.Default(), nil, a, b)
+}
+
+// MulTWith computes aᵀ*b on engine e, borrowing the result from ws (nil
+// ws allocates).
+func MulTWith(e *compute.Engine, ws *compute.Workspace, a, b *Dense) *Dense {
 	if a.R != b.R {
 		panic("mat: MulT dimension mismatch")
 	}
-	out := NewDense(a.C, b.C)
-	workers := runtime.GOMAXPROCS(0)
+	out := getDenseRaw(ws, a.C, b.C)
 	flops := a.R * a.C * b.C
-	if flops < parallelThreshold || workers <= 1 || a.C < 2 {
+	if flops < parallelThreshold || e.Workers() <= 1 || a.C < 2 {
 		mulTRange(out, a, b, 0, a.C)
 		return out
 	}
-	if workers > a.C {
-		workers = a.C
-	}
-	var wg sync.WaitGroup
-	chunk := (a.C + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.C)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulTRange(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	e.ParallelFor(a.C, func(lo, hi int) {
+		mulTRange(out, a, b, lo, hi)
+	})
 	return out
 }
 
 // mulTRange computes rows [lo,hi) of out = aᵀb. Row i of the output is
-// Σ_k a[k][i] * b[k][:], streaming both a and b row-wise.
+// Σ_k a[k][i] * b[k][:], streaming both a and b row-wise. The band's
+// output rows are zeroed up front, so out need not be pre-zeroed.
 func mulTRange(out, a, b *Dense, lo, hi int) {
 	n := b.C
+	for i := lo; i < hi; i++ {
+		row := out.Data[i*n : i*n+n]
+		for j := range row {
+			row[j] = 0
+		}
+	}
 	for k := 0; k < a.R; k++ {
 		arow := a.Row(k)
 		brow := b.Data[k*n : k*n+n]
@@ -155,36 +169,27 @@ func MulVec(a *Dense, x []float64) []float64 {
 // symmetric positive semidefinite; only the upper triangle is computed
 // and mirrored.
 func Gram(m *Dense, byCols bool) *Dense {
-	if byCols {
-		return gramCols(m)
-	}
-	return gramRows(m)
+	return GramWith(compute.Default(), nil, m, byCols)
 }
 
-func gramRows(m *Dense) *Dense {
+// GramWith computes the Gram matrix on engine e, borrowing the result
+// from ws (nil ws allocates).
+func GramWith(e *compute.Engine, ws *compute.Workspace, m *Dense, byCols bool) *Dense {
+	if byCols {
+		return gramCols(ws, m)
+	}
+	return gramRows(e, ws, m)
+}
+
+func gramRows(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
 	n := m.R
-	out := NewDense(n, n)
-	workers := runtime.GOMAXPROCS(0)
-	if n*n*m.C < parallelThreshold || workers <= 1 {
+	out := getDenseRaw(ws, n, n)
+	if n*n*m.C < parallelThreshold || e.Workers() <= 1 {
 		gramRowsRange(out, m, 0, n)
 	} else {
-		if workers > n {
-			workers = n
-		}
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, min((w+1)*chunk, n)
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				gramRowsRange(out, m, lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+		e.ParallelFor(n, func(lo, hi int) {
+			gramRowsRange(out, m, lo, hi)
+		})
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {
@@ -209,10 +214,10 @@ func gramRowsRange(out, m *Dense, lo, hi int) {
 	}
 }
 
-func gramCols(m *Dense) *Dense {
+func gramCols(ws *compute.Workspace, m *Dense) *Dense {
 	// mᵀm accumulated row-by-row of m: for each row r, out += r rᵀ.
 	n := m.C
-	out := NewDense(n, n)
+	out := GetDense(ws, n, n)
 	for k := 0; k < m.R; k++ {
 		row := m.Row(k)
 		for i := 0; i < n; i++ {

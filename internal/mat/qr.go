@@ -1,6 +1,10 @@
 package mat
 
-import "math"
+import (
+	"math"
+
+	"imrdmd/internal/compute"
+)
 
 // QR holds a thin (economy) QR factorization A = Q R with Q m×n
 // column-orthonormal and R n×n upper triangular, for m ≥ n.
@@ -15,12 +19,19 @@ type QR struct {
 // well- to moderately-conditioned matrices this package sees, and keeps
 // Q explicit, which the incremental-SVD layer needs.
 func QRFactor(a *Dense) *QR {
+	return QRFactorWith(nil, a)
+}
+
+// QRFactorWith is QRFactor with Q and R borrowed from ws (nil ws
+// allocates). Return both factors with PutDense (or qr.Release) when the
+// factorization is no longer needed.
+func QRFactorWith(ws *compute.Workspace, a *Dense) *QR {
 	m, n := a.R, a.C
 	if m < n {
 		panic("mat: QRFactor requires rows >= cols")
 	}
-	q := a.Clone()
-	r := NewDense(n, n)
+	q := CloneWith(ws, a)
+	r := GetDense(ws, n, n)
 	for j := 0; j < n; j++ {
 		// Two MGS passes against previous columns; the second pass
 		// re-orthogonalizes and its corrections accumulate into R.
@@ -38,6 +49,12 @@ func QRFactor(a *Dense) *QR {
 		}
 	}
 	return &QR{Q: q, R: r}
+}
+
+// Release returns both factors' storage to ws.
+func (qr *QR) Release(ws *compute.Workspace) {
+	PutDense(ws, qr.Q)
+	PutDense(ws, qr.R)
 }
 
 // colDot returns column i · column j of m.

@@ -3,6 +3,7 @@ package svd
 import (
 	"fmt"
 
+	"imrdmd/internal/compute"
 	"imrdmd/internal/mat"
 )
 
@@ -21,6 +22,12 @@ import (
 // O(m·q·c + q³) for m rows, rank q and c new columns — independent of how
 // many columns have been absorbed before, which is exactly the property
 // that makes I-mrDMD's partial fits flat in Table I of the paper.
+//
+// Every intermediate of the update — the projection L, the residual and
+// its QR factors, the augmented core K and the extended bases — is
+// borrowed from a compute.Workspace, and the replaced U/V factors are
+// recycled into the same pool, so sustained streams of updates are
+// allocation-stable (see DESIGN.md §2).
 type Incremental struct {
 	U *mat.Dense // m×q
 	S []float64  // q
@@ -36,11 +43,24 @@ type Incremental struct {
 	// reorthEvery controls the periodic exact re-orthogonalization of U
 	// that counters Brand-update drift.
 	reorthEvery int
+
+	eng *compute.Engine
+	ws  *compute.Workspace
 }
 
-// NewIncremental seeds the running SVD from a first batch of columns.
+// NewIncremental seeds the running SVD from a first batch of columns,
+// using the shared default engine.
 func NewIncremental(first *mat.Dense, maxRank int) *Incremental {
-	r := Compute(first)
+	return NewIncrementalWith(compute.Default(), nil, first, maxRank)
+}
+
+// NewIncrementalWith seeds the running SVD with an explicit engine and
+// workspace (nil ws creates a private one; nil eng runs serially).
+func NewIncrementalWith(eng *compute.Engine, ws *compute.Workspace, first *mat.Dense, maxRank int) *Incremental {
+	if ws == nil {
+		ws = compute.NewWorkspace()
+	}
+	r := ComputeWith(eng, ws, first)
 	if maxRank > 0 && r.Rank() > maxRank {
 		r = r.Truncate(maxRank)
 	}
@@ -51,8 +71,13 @@ func NewIncremental(first *mat.Dense, maxRank int) *Incremental {
 		MaxRank:     maxRank,
 		DropTol:     1e-10,
 		reorthEvery: 8,
+		eng:         eng,
+		ws:          ws,
 	}
 }
+
+// SetEngine redirects the update parallelism to e (nil for serial).
+func (inc *Incremental) SetEngine(e *compute.Engine) { inc.eng = e }
 
 // Rows returns m, the (fixed) row dimension.
 func (inc *Incremental) Rows() int { return inc.U.R }
@@ -62,6 +87,9 @@ func (inc *Incremental) Cols() int { return inc.V.R }
 
 // Rank returns the current truncation rank q.
 func (inc *Incremental) Rank() int { return len(inc.S) }
+
+// WorkspaceStats reports buffer-pool gets and hits (for reuse tests).
+func (inc *Incremental) WorkspaceStats() (gets, hits int) { return inc.ws.Stats() }
 
 // Update absorbs a new block of columns c (m×k). Blocks wider than the
 // row count are split so the residual QR stays tall.
@@ -78,7 +106,9 @@ func (inc *Incremental) Update(c *mat.Dense) {
 			if hi > c.C {
 				hi = c.C
 			}
-			inc.update(c.ColSlice(j, hi))
+			blk := mat.ColSliceWith(inc.ws, c, j, hi)
+			inc.update(blk)
+			mat.PutDense(inc.ws, blk)
 		}
 		return
 	}
@@ -88,14 +118,19 @@ func (inc *Incremental) Update(c *mat.Dense) {
 func (inc *Incremental) update(c *mat.Dense) {
 	q := inc.Rank()
 	k := c.C
+	ws := inc.ws
 
 	// L = Uᵀ C (q×k); H = C − U L, the out-of-basis residual.
-	l := mat.MulT(inc.U, c)
-	h := mat.Sub(c, mat.Mul(inc.U, l))
-	qr := mat.QRFactor(h) // J (m×k) orthonormal, R (k×k)
+	l := mat.MulTWith(inc.eng, ws, inc.U, c)
+	h := mat.MulWith(inc.eng, ws, inc.U, l) // holds U·L, flipped to C − U·L below
+	for i := range h.Data {
+		h.Data[i] = c.Data[i] - h.Data[i]
+	}
+	qr := mat.QRFactorWith(ws, h) // J (m×k) orthonormal, R (k×k)
+	mat.PutDense(ws, h)
 
 	// Augmented core K ((q+k)×(q+k)).
-	kk := mat.NewDense(q+k, q+k)
+	kk := mat.GetDense(ws, q+k, q+k)
 	for i := 0; i < q; i++ {
 		kk.Set(i, i, inc.S[i])
 		copy(kk.Row(i)[q:], l.Row(i))
@@ -103,29 +138,51 @@ func (inc *Incremental) update(c *mat.Dense) {
 	for i := 0; i < k; i++ {
 		copy(kk.Row(q + i)[q:], qr.R.Row(i))
 	}
-	core := jacobiSVD(kk)
+	core := jacobiSVDWS(kk, ws, true)
+	mat.PutDense(ws, kk)
+	mat.PutDense(ws, l)
 
 	// Rotate bases: U ← [U J]·Uc, V ← [[V 0];[0 I]]·Vc.
-	uj := mat.HStack(inc.U, qr.Q)
-	newU := mat.Mul(uj, core.U)
+	// uj is a raw borrow: both column blocks are fully copied below.
+	m := inc.U.R
+	uj := mat.GetDenseRaw(ws, m, q+k)
+	for i := 0; i < m; i++ {
+		row := uj.Row(i)
+		copy(row[:q], inc.U.Row(i))
+		copy(row[q:], qr.Q.Row(i))
+	}
+	newU := mat.MulWith(inc.eng, ws, uj, core.U)
+	mat.PutDense(ws, uj)
+	qr.Release(ws)
 
 	t := inc.V.R
-	vext := mat.NewDense(t+k, q+k)
+	vext := mat.GetDense(ws, t+k, q+k)
 	for i := 0; i < t; i++ {
 		copy(vext.Row(i)[:q], inc.V.Row(i))
 	}
 	for i := 0; i < k; i++ {
 		vext.Set(t+i, q+i, 1)
 	}
-	newV := mat.Mul(vext, core.V)
+	newV := mat.MulWith(inc.eng, ws, vext, core.V)
+	mat.PutDense(ws, vext)
+	mat.PutDense(ws, core.U)
+	mat.PutDense(ws, core.V)
 
-	inc.U, inc.S, inc.V = newU, core.S, newV
+	inc.replaceFactors(newU, core.S, newV)
 	inc.truncate()
 
 	inc.updates++
 	if inc.reorthEvery > 0 && inc.updates%inc.reorthEvery == 0 {
 		inc.reorthogonalize()
 	}
+}
+
+// replaceFactors installs the rotated bases and recycles the previous
+// factor storage into the workspace pool.
+func (inc *Incremental) replaceFactors(u *mat.Dense, s []float64, v *mat.Dense) {
+	mat.PutDense(inc.ws, inc.U)
+	mat.PutDense(inc.ws, inc.V)
+	inc.U, inc.S, inc.V = u, s, v
 }
 
 // truncate applies MaxRank and DropTol.
@@ -147,9 +204,9 @@ func (inc *Incremental) truncate() {
 	if rank == len(inc.S) {
 		return
 	}
-	inc.U = inc.U.ColSlice(0, rank)
-	inc.V = inc.V.ColSlice(0, rank)
-	inc.S = inc.S[:rank]
+	u := mat.ColSliceWith(inc.ws, inc.U, 0, rank)
+	v := mat.ColSliceWith(inc.ws, inc.V, 0, rank)
+	inc.replaceFactors(u, inc.S[:rank], v)
 }
 
 // reorthogonalize restores exact column orthonormality of U, which drifts
@@ -158,22 +215,36 @@ func (inc *Incremental) truncate() {
 // of R·diag(S) re-diagonalizes the core.
 func (inc *Incremental) reorthogonalize() {
 	q := inc.Rank()
-	qr := mat.QRFactor(inc.U)
-	rs := qr.R.Clone()
+	ws := inc.ws
+	qr := mat.QRFactorWith(ws, inc.U)
+	rs := mat.CloneWith(ws, qr.R)
 	for i := 0; i < q; i++ {
 		row := rs.Row(i)
 		for j := range row {
 			row[j] *= inc.S[j]
 		}
 	}
-	core := jacobiSVD(rs)
-	inc.U = mat.Mul(qr.Q, core.U)
-	inc.V = mat.Mul(inc.V, core.V)
-	inc.S = core.S
+	core := jacobiSVDWS(rs, ws, true)
+	mat.PutDense(ws, rs)
+	newU := mat.MulWith(inc.eng, ws, qr.Q, core.U)
+	newV := mat.MulWith(inc.eng, ws, inc.V, core.V)
+	qr.Release(ws)
+	mat.PutDense(ws, core.U)
+	mat.PutDense(ws, core.V)
+	inc.replaceFactors(newU, core.S, newV)
 	inc.truncate()
 }
 
-// Result snapshots the current decomposition.
+// Result snapshots the current decomposition. The returned factors are
+// deep copies, independent of the workspace-pooled internals.
 func (inc *Incremental) Result() *Result {
 	return &Result{U: inc.U.Clone(), S: append([]float64(nil), inc.S...), V: inc.V.Clone()}
+}
+
+// ResultView returns the live factors without copying. The view is
+// read-only and valid only until the next Update/AddRows — the factor
+// storage is recycled into the workspace pool on replacement. Use Result
+// for anything retained.
+func (inc *Incremental) ResultView() *Result {
+	return &Result{U: inc.U, S: inc.S, V: inc.V}
 }

@@ -17,7 +17,8 @@ import (
 //	                                         | (BV)   Rhᵀ|
 //
 // where Hᵀ = B − (BV)Vᵀ is the out-of-subspace residual and Qh Rh its
-// (transposed) QR factorization.
+// (transposed) QR factorization. Like Update, every intermediate is
+// borrowed from the workspace and the replaced factors are recycled.
 func (inc *Incremental) AddRows(b *mat.Dense) {
 	if b.C != inc.V.R {
 		panic(fmt.Sprintf("svd: AddRows column mismatch %d vs %d", b.C, inc.V.R))
@@ -44,13 +45,32 @@ func (inc *Incremental) addRows(b *mat.Dense) {
 	q := inc.Rank()
 	k := b.R
 	t := inc.V.R
+	ws := inc.ws
 
-	l := mat.Mul(b, inc.V)                 // k×q
-	h := mat.Sub(b, mat.Mul(l, inc.V.T())) // k×t residual rows
-	qr := mat.QRFactor(h.T())              // Qh (t×k), Rh (k×k); Hᵀ = Qh Rh
+	l := mat.MulWith(inc.eng, ws, b, inc.V) // k×q
+	// H = B − L Vᵀ (k×t residual rows), built without materializing Vᵀ:
+	// H[i,:] = B[i,:] − Σ_j L[i,j]·V[:,j]ᵀ.
+	h := mat.CloneWith(ws, b)
+	for i := 0; i < k; i++ {
+		hrow := h.Row(i)
+		lrow := l.Row(i)
+		for j := 0; j < q; j++ {
+			lij := lrow[j]
+			if lij == 0 {
+				continue
+			}
+			for r := 0; r < t; r++ {
+				hrow[r] -= lij * inc.V.Data[r*q+j]
+			}
+		}
+	}
+	ht := mat.TWith(ws, h) // t×k
+	mat.PutDense(ws, h)
+	qr := mat.QRFactorWith(ws, ht) // Qh (t×k), Rh (k×k); Hᵀ = Qh Rh
+	mat.PutDense(ws, ht)
 
 	// Augmented core ((q+k)×(q+k)): [Σ 0; L Rhᵀ].
-	kk := mat.NewDense(q+k, q+k)
+	kk := mat.GetDense(ws, q+k, q+k)
 	for i := 0; i < q; i++ {
 		kk.Set(i, i, inc.S[i])
 	}
@@ -60,28 +80,35 @@ func (inc *Incremental) addRows(b *mat.Dense) {
 			kk.Set(q+i, q+j, qr.R.At(j, i))
 		}
 	}
-	core := jacobiSVD(kk)
+	core := jacobiSVDWS(kk, ws, true)
+	mat.PutDense(ws, kk)
+	mat.PutDense(ws, l)
 
 	// U ← [[U 0];[0 I]]·Uc (rows grow by k).
 	m := inc.U.R
-	uext := mat.NewDense(m+k, q+k)
+	uext := mat.GetDense(ws, m+k, q+k)
 	for i := 0; i < m; i++ {
 		copy(uext.Row(i)[:q], inc.U.Row(i))
 	}
 	for i := 0; i < k; i++ {
 		uext.Set(m+i, q+i, 1)
 	}
-	newU := mat.Mul(uext, core.U)
+	newU := mat.MulWith(inc.eng, ws, uext, core.U)
+	mat.PutDense(ws, uext)
 
-	// V ← [V Qh]·Vc.
-	vq := mat.NewDense(t, q+k)
+	// V ← [V Qh]·Vc. Raw borrow: both column blocks are fully copied.
+	vq := mat.GetDenseRaw(ws, t, q+k)
 	for i := 0; i < t; i++ {
 		copy(vq.Row(i)[:q], inc.V.Row(i))
 		copy(vq.Row(i)[q:], qr.Q.Row(i))
 	}
-	newV := mat.Mul(vq, core.V)
+	newV := mat.MulWith(inc.eng, ws, vq, core.V)
+	mat.PutDense(ws, vq)
+	qr.Release(ws)
+	mat.PutDense(ws, core.U)
+	mat.PutDense(ws, core.V)
 
-	inc.U, inc.S, inc.V = newU, core.S, newV
+	inc.replaceFactors(newU, core.S, newV)
 	inc.truncate()
 	inc.updates++
 	if inc.reorthEvery > 0 && inc.updates%inc.reorthEvery == 0 {

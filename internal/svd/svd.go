@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"imrdmd/internal/compute"
 	"imrdmd/internal/eig"
 	"imrdmd/internal/mat"
 )
@@ -36,6 +37,21 @@ func (r *Result) Truncate(k int) *Result {
 		U: r.U.ColSlice(0, k),
 		S: append([]float64(nil), r.S[:k]...),
 		V: r.V.ColSlice(0, k),
+	}
+}
+
+// TruncateWith is Truncate with the factor copies borrowed from ws. When
+// k >= Rank() the receiver itself is returned unchanged (no copy) — check
+// `tr != r` before returning borrowed factors to the pool. The result is
+// read-only for the borrower.
+func (r *Result) TruncateWith(ws *compute.Workspace, k int) *Result {
+	if k >= r.Rank() {
+		return r
+	}
+	return &Result{
+		U: mat.ColSliceWith(ws, r.U, 0, k),
+		S: r.S[:k],
+		V: mat.ColSliceWith(ws, r.V, 0, k),
 	}
 }
 
@@ -74,27 +90,46 @@ const relDropTol = 1e-12
 // largest singular value, which is ample for sensor data and is exactly
 // the classical POD/DMD route).
 func Compute(a *mat.Dense) *Result {
+	return ComputeWith(compute.Default(), nil, a)
+}
+
+// ComputeWith is Compute with its parallel sections routed through engine
+// e and its internal scratch borrowed from ws (either may be nil). The
+// returned factors are freshly owned — never workspace storage — so they
+// may be retained indefinitely.
+func ComputeWith(e *compute.Engine, ws *compute.Workspace, a *mat.Dense) *Result {
 	m, n := a.Dims()
 	if m == 0 || n == 0 {
 		return &Result{U: mat.NewDense(m, 0), S: nil, V: mat.NewDense(n, 0)}
 	}
 	if min(m, n) <= jacobiCutoff {
-		return jacobiSVD(a)
+		return jacobiSVDWS(a, ws, false)
 	}
-	return snapshotSVD(a)
+	return snapshotSVD(e, ws, a)
 }
 
 // jacobiSVD computes the economy SVD by one-sided Jacobi rotations on the
 // columns of the (possibly transposed) matrix.
-func jacobiSVD(a *mat.Dense) *Result {
+func jacobiSVD(a *mat.Dense) *Result { return jacobiSVDWS(a, nil, false) }
+
+// jacobiSVDWS is jacobiSVD with rotation scratch borrowed from ws. When
+// poolOut is set, the returned U and V are workspace storage too and the
+// caller must PutDense them back (used by the incremental updates, whose
+// factor matrices are recycled every step).
+func jacobiSVDWS(a *mat.Dense, ws *compute.Workspace, poolOut bool) *Result {
 	m, n := a.Dims()
 	if m < n {
 		// Factor the transpose and swap factors: Aᵀ = U S Vᵀ ⇒ A = V S Uᵀ.
-		r := jacobiSVD(a.T())
+		at := mat.TWith(ws, a)
+		r := jacobiSVDWS(at, ws, poolOut)
+		mat.PutDense(ws, at)
 		return &Result{U: r.V, S: r.S, V: r.U}
 	}
-	w := a.Clone() // columns will be rotated into U·Σ
-	v := mat.Eye(n)
+	w := mat.CloneWith(ws, a) // columns will be rotated into U·Σ
+	v := mat.GetDense(ws, n, n)
+	for i := 0; i < n; i++ {
+		v.Data[i*n+i] = 1
+	}
 
 	const maxSweeps = 48
 	// Convergence: all column pairs orthogonal relative to their norms.
@@ -158,7 +193,17 @@ func jacobiSVD(a *mat.Dense) *Result {
 		}
 		tr[j] = triplet{math.Sqrt(s), j}
 	}
-	sort.Slice(tr, func(i, j int) bool { return tr[i].s > tr[j].s })
+	// Insertion sort, descending: n is small (≤ jacobiCutoff) and this
+	// avoids sort.Slice's reflection allocations on the update hot path.
+	for i := 1; i < n; i++ {
+		t := tr[i]
+		j := i - 1
+		for j >= 0 && tr[j].s < t.s {
+			tr[j+1] = tr[j]
+			j--
+		}
+		tr[j+1] = t
+	}
 
 	smax := tr[0].s
 	rank := 0
@@ -169,8 +214,14 @@ func jacobiSVD(a *mat.Dense) *Result {
 		rank = 1 // zero matrix: keep a single zero triplet for shape sanity
 	}
 
-	u := mat.NewDense(m, rank)
-	vv := mat.NewDense(n, rank)
+	var u, vv *mat.Dense
+	if poolOut {
+		u = mat.GetDense(ws, m, rank)
+		vv = mat.GetDense(ws, n, rank)
+	} else {
+		u = mat.NewDense(m, rank)
+		vv = mat.NewDense(n, rank)
+	}
 	ss := make([]float64, rank)
 	for jOut := 0; jOut < rank; jOut++ {
 		j := tr[jOut].idx
@@ -187,29 +238,33 @@ func jacobiSVD(a *mat.Dense) *Result {
 			vv.Data[k*rank+jOut] = v.Data[k*n+j]
 		}
 	}
+	mat.PutDense(ws, w)
+	mat.PutDense(ws, v)
 	return &Result{U: u, S: ss, V: vv}
 }
 
 // snapshotSVD computes the economy SVD via the eigendecomposition of the
 // smaller Gram matrix (the classical method of snapshots).
-func snapshotSVD(a *mat.Dense) *Result {
+func snapshotSVD(e *compute.Engine, ws *compute.Workspace, a *mat.Dense) *Result {
 	m, n := a.Dims()
 	if n <= m {
 		// G = AᵀA = V Λ Vᵀ; σ = √λ; U = A V Σ⁻¹.
-		g := mat.Gram(a, true)
-		w, v := eig.Symmetric(g)
-		return assembleFromGram(a, w, v, false)
+		g := mat.GramWith(e, ws, a, true)
+		w, v := eig.Symmetric(g) // clones g internally
+		mat.PutDense(ws, g)
+		return assembleFromGram(e, a, w, v, false)
 	}
 	// G = AAᵀ = U Λ Uᵀ; σ = √λ; V = Aᵀ U Σ⁻¹.
-	g := mat.Gram(a, false)
+	g := mat.GramWith(e, ws, a, false)
 	w, u := eig.Symmetric(g)
-	return assembleFromGram(a, w, u, true)
+	mat.PutDense(ws, g)
+	return assembleFromGram(e, a, w, u, true)
 }
 
 // assembleFromGram turns the Gram eigendecomposition into an SVD. When
 // left is false the eigenvectors are V and U is recovered; when true the
 // eigenvectors are U and V is recovered.
-func assembleFromGram(a *mat.Dense, w []float64, vecs *mat.Dense, left bool) *Result {
+func assembleFromGram(e *compute.Engine, a *mat.Dense, w []float64, vecs *mat.Dense, left bool) *Result {
 	var smax float64
 	for _, l := range w {
 		if l > smax {
@@ -241,12 +296,12 @@ func assembleFromGram(a *mat.Dense, w []float64, vecs *mat.Dense, left bool) *Re
 	kept := vecs.ColSlice(0, rank)
 	if !left {
 		// kept = V; U = A V Σ⁻¹.
-		u := mat.Mul(a, kept)
+		u := mat.MulWith(e, nil, a, kept)
 		scaleColsInv(u, s)
 		return &Result{U: u, S: s, V: kept}
 	}
 	// kept = U; V = Aᵀ U Σ⁻¹ computed as (UᵀA)ᵀ Σ⁻¹ without materializing Aᵀ.
-	v := mat.MulT(a, kept) // AᵀU? MulT(a, kept) = aᵀ·kept — exactly Aᵀ U.
+	v := mat.MulTWith(e, nil, a, kept) // aᵀ·kept — exactly Aᵀ U.
 	scaleColsInv(v, s)
 	return &Result{U: kept, S: s, V: v}
 }
