@@ -1,0 +1,60 @@
+package imrdmd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOptionsBlockColumns checks the public BlockColumns knob end to end:
+// streaming the same data with block-column SVD updates (8) and column-at-
+// a-time updates (1) must agree on the reconstruction to truncation-level
+// precision, and the default (0) must keep working unchanged.
+func TestOptionsBlockColumns(t *testing.T) {
+	const (
+		p        = 24
+		initialT = 256
+		batches  = 2
+		batchT   = 128 // 8 × the level-1 stride (256/16) per batch
+	)
+	rng := rand.New(rand.NewSource(42))
+	total := initialT + batches*batchT
+	s := NewSeries(p, total)
+	for i := 0; i < p; i++ {
+		phase := rng.Float64() * 2 * math.Pi
+		for k := 0; k < total; k++ {
+			tm := float64(k)
+			s.Set(i, k, 3*math.Sin(tm/80+phase)+math.Sin(tm/7)+0.1*rng.NormFloat64())
+		}
+	}
+
+	run := func(blockCols int) float64 {
+		a := New(Options{DT: 1, MaxLevels: 3, MaxCycles: 2, Rank: 4, BlockColumns: blockCols})
+		if err := a.InitialFit(s.Slice(0, initialT)); err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < batches; b++ {
+			lo := initialT + b*batchT
+			if _, err := a.PartialFit(s.Slice(lo, lo+batchT)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := a.Steps(); got != total {
+			t.Fatalf("BlockColumns=%d absorbed %d steps want %d", blockCols, got, total)
+		}
+		return a.ReconstructionError()
+	}
+
+	errBlock := run(8)
+	errCol := run(1)
+	errDefault := run(0)
+	if d := math.Abs(errBlock - errCol); d > 1e-8 {
+		t.Fatalf("BlockColumns=8 error %v vs column-at-a-time %v: |Δ| = %g > 1e-8", errBlock, errCol, d)
+	}
+	if d := math.Abs(errDefault - errCol); d > 1e-8 {
+		t.Fatalf("default BlockColumns error %v vs column-at-a-time %v: |Δ| = %g > 1e-8", errDefault, errCol, d)
+	}
+	if errBlock > 0.9*s.FrobNorm() {
+		t.Fatalf("reconstruction error %v not meaningfully below data norm %v", errBlock, s.FrobNorm())
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		baseLo  = flag.Float64("baseline-lo", 46, "baseline mean lower bound")
 		baseHi  = flag.Float64("baseline-hi", 57, "baseline mean upper bound")
 		workers = flag.Int("workers", 0, "compute-engine worker lanes (0 = GOMAXPROCS)")
+		blkCols = flag.Int("block-columns", 8, "incremental-SVD block-column width (1 = column at a time, 0 = one block per batch)")
 		outDir  = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 	a := imrdmd.New(imrdmd.Options{
 		DT: *dt, MaxLevels: *levels, MaxCycles: *cycles,
 		UseSVHT: *svht, Rank: *rank, Parallel: true, Workers: *workers,
+		BlockColumns: *blkCols,
 	})
 	start := time.Now()
 	if err := a.InitialFit(series.Slice(0, init)); err != nil {

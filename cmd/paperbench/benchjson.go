@@ -15,15 +15,16 @@ import (
 )
 
 // benchSnapshot is the perf-trajectory record emitted by -bench-json: the
-// two hot-path metrics the compute-engine work optimizes (dense multiply
-// and streamed PartialFit), captured per PR so regressions are diffable.
+// hot-path metrics the kernel work optimizes (dense multiply variants and
+// streamed PartialFit), captured per PR so regressions are diffable.
 type benchSnapshot struct {
-	GOOS       string                 `json:"goos"`
-	GOARCH     string                 `json:"goarch"`
-	GoVersion  string                 `json:"go_version"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Workers    int                    `json:"workers"`
-	Benchmarks map[string]benchMetric `json:"benchmarks"`
+	GOOS         string                 `json:"goos"`
+	GOARCH       string                 `json:"goarch"`
+	GoVersion    string                 `json:"go_version"`
+	GOMAXPROCS   int                    `json:"gomaxprocs"`
+	Workers      int                    `json:"workers"`
+	BlockColumns int                    `json:"block_columns"`
+	Benchmarks   map[string]benchMetric `json:"benchmarks"`
 }
 
 type benchMetric struct {
@@ -31,6 +32,9 @@ type benchMetric struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	N           int   `json:"n"`
+	// GFLOPS is reported for kernel benchmarks with a closed-form flop
+	// count (multiply/Gram); higher-level pipeline benchmarks omit it.
+	GFLOPS float64 `json:"gflops,omitempty"`
 }
 
 func metricOf(r testing.BenchmarkResult) benchMetric {
@@ -42,16 +46,31 @@ func metricOf(r testing.BenchmarkResult) benchMetric {
 	}
 }
 
-// writeBenchJSON runs the Mul and PartialFit micro-benchmarks in-process
-// and writes the snapshot to path (e.g. BENCH_pr1.json).
+// kernelMetricOf is metricOf plus the GFLOPS rate for a kernel that
+// executes the given number of floating-point operations per op.
+func kernelMetricOf(r testing.BenchmarkResult, flops int64) benchMetric {
+	m := metricOf(r)
+	if m.NsPerOp > 0 {
+		m.GFLOPS = float64(flops) / float64(m.NsPerOp)
+	}
+	return m
+}
+
+// writeBenchJSON runs the kernel and PartialFit micro-benchmarks
+// in-process and writes the snapshot to path (e.g. BENCH_pr2.json).
 func writeBenchJSON(path string, workers int) error {
+	// The streaming benchmark runs with block-column updates enabled (the
+	// production streaming configuration); the accuracy-equivalence of
+	// block sizes is test-enforced in internal/core.
+	const blockColumns = 8
 	snap := benchSnapshot{
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    workers,
-		Benchmarks: map[string]benchMetric{},
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		BlockColumns: blockColumns,
+		Benchmarks:   map[string]benchMetric{},
 	}
 
 	rng := rand.New(rand.NewSource(1))
@@ -65,12 +84,25 @@ func writeBenchJSON(path string, workers int) error {
 	// Route through the same engine the workers flag selects so the
 	// snapshot's numbers match its recorded configuration.
 	eng := compute.Shared(workers)
-	snap.Benchmarks["mul_512x512"] = metricOf(testing.Benchmark(func(tb *testing.B) {
+	const mulFlops = 2 * int64(n) * int64(n) * int64(n)
+	snap.Benchmarks["mul_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
 		tb.ReportAllocs()
 		for i := 0; i < tb.N; i++ {
 			_ = mat.MulWith(eng, nil, a, b)
 		}
-	}))
+	}), mulFlops)
+	snap.Benchmarks["mult_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			_ = mat.MulTWith(eng, nil, a, b)
+		}
+	}), mulFlops)
+	snap.Benchmarks["gram_rows_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			_ = mat.GramWith(eng, nil, a, false)
+		}
+	}), mulFlops)
 
 	// Fixed streaming episode per iteration: rebuild the analyzer (off
 	// the clock) and time five 40-column partial fits over T=2000→2200.
@@ -80,7 +112,7 @@ func writeBenchJSON(path string, workers int) error {
 	data := bench.SCLogData(200, 2200, 1)
 	opts := core.Options{
 		DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true,
-		Parallel: true, Workers: workers,
+		Parallel: true, Workers: workers, BlockColumns: blockColumns,
 	}
 	initial := data.ColSlice(0, 2000)
 	blocks := make([]*mat.Dense, 5)

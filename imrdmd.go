@@ -44,6 +44,15 @@ type Options struct {
 	// Workers value pins one permanent pool for the process lifetime, so
 	// prefer a few fixed sizes over per-request values. See DESIGN.md §2.
 	Workers int
+	// BlockColumns chunks the incremental level-1 SVD's absorption of
+	// newly sampled columns: each chunk of BlockColumns columns costs one
+	// residual QR plus one small core SVD, so larger blocks amortize the
+	// factorization cost of sustained streams (1 = column at a time;
+	// 8 is a good streaming default). 0 keeps the pre-knob behavior of
+	// absorbing each PartialFit's samples as one block. Any setting
+	// yields the same subspace up to rank truncation — reconstruction
+	// error is test-pinned to match within 1e-8. See DESIGN.md §5.
+	BlockColumns int
 
 	// DriftThreshold, when positive, recomputes previously fitted levels
 	// when the level-1 slow-mode drift exceeds it (Algorithm 1's
@@ -64,6 +73,7 @@ func (o Options) toCore() core.Options {
 		MinWindow:     o.MinWindow,
 		Parallel:      o.Parallel,
 		Workers:       o.Workers,
+		BlockColumns:  o.BlockColumns,
 	}
 }
 

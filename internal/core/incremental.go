@@ -209,7 +209,7 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 		// final Y target.
 		ns := inc.sub1.C
 		upd := mat.ColSliceWith(inc.ws, inc.sub1, oldNS-1, ns-1)
-		inc.isvd.Update(upd)
+		inc.isvd.UpdateBlock(upd, inc.opts.BlockColumns)
 		mat.PutDense(inc.ws, upd)
 	}
 	stats.NewSamples = len(newCols)

@@ -1,0 +1,424 @@
+package mat
+
+import "imrdmd/internal/compute"
+
+// This file is the packed, register-blocked GEMM that backs every dense
+// multiply in the package (Mul/MulInto/MulT/Gram and QR's trailing-matrix
+// update). The layout follows the classic Goto/BLIS decomposition:
+//
+//	for jc over N by ncBlock:            (B panel column block)
+//	  for pc over K by kcBlock:          (depth block)
+//	    pack B[pc:pc+kc, jc:jc+nc]  →  bp  (strips of nrTile columns)
+//	    for ic over M by mcBlock:        (A panel row block, parallel unit)
+//	      pack A[ic:ic+mc, pc:pc+kc] → ap  (strips of mrTile rows)
+//	      macro-kernel: mrTile×nrTile register tiles over (ap, bp)
+//
+// Packing copies both operands into contiguous, tile-ordered buffers so the
+// micro-kernel streams unit-stride with no bounds-check or stride math in
+// the inner loop, and so transposed operands (MulT, Gram's m·mᵀ) cost the
+// same as plain ones — the transpose is absorbed by the packing read. Pack
+// buffers are borrowed from a package-level compute.Workspace, so steady
+// state packs are allocation-free.
+//
+// The micro-kernel itself is gemmKernel4x4: a hand-unrolled 4×4 register
+// tile, dst[0:4, 0:4] (mode: overwrite / += / −=) of ap-strip · bp-strip.
+// On amd64 with AVX2+FMA it is four YMM accumulator rows driven by
+// broadcast/FMA (see gemm_amd64.s); elsewhere a pure-Go unrolled version
+// (gemm_generic.go) with sixteen scalar accumulators. Edge tiles (mr<4 or
+// nr<4) run the same kernel into a zero-padded 4×4 scratch tile and merge
+// the valid region, so the hot path has no remainder branches.
+//
+// Parallelism: the engine fans out over mcBlock row panels (each worker
+// packs its own A panels; the B panel is packed once by the caller and
+// shared read-only). Panel boundaries align with tile boundaries and each
+// output element is owned by exactly one worker with the same per-element
+// accumulation order as the serial loop, so engine and serial runs agree
+// bit for bit (mul_parallel_test.go and gemm_test.go pin this).
+const (
+	mrTile = 4 // micro-kernel rows (register tile height)
+	nrTile = 4 // micro-kernel cols (register tile width)
+
+	// kcBlock × nrTile is one packed B strip (8 KiB): resident in L1
+	// across a whole row of tiles. mcBlock × kcBlock is one packed A
+	// panel (256 KiB): resident in L2 across the nc loop. ncBlock bounds
+	// the shared B panel (≤ 1 MiB) so it stays cache-friendly while
+	// amortizing A packing over as many columns as possible.
+	kcBlock = 256
+	mcBlock = 128
+	ncBlock = 512
+
+	// gemmMinFlops is the m·k·n product below which the naive loops win:
+	// packing two operands costs O(m·k + k·n) copies, which only pays
+	// for itself once every packed element is reused a few times.
+	gemmMinFlops = 1 << 14
+)
+
+// Micro-kernel output modes.
+const (
+	gemmSet = iota // dst tile = product
+	gemmAdd        // dst tile += product
+	gemmSub        // dst tile -= product
+)
+
+// packPool supplies pack buffers for all GEMM calls in the process. It is
+// deliberately package-level (not the caller's workspace): pack buffers
+// never escape a call, every caller needs the same two size classes, and a
+// shared pool keeps even ws==nil entry points allocation-free in steady
+// state.
+var packPool = compute.NewWorkspace()
+
+// view is a strided window into row-major storage: element (i, j) lives at
+// data[i*stride + j]. It lets the GEMM operate on submatrices (QR's
+// trailing columns) without copying them out first.
+type view struct {
+	data   []float64
+	r, c   int
+	stride int
+}
+
+func denseView(m *Dense) view { return view{data: m.Data, r: m.R, c: m.C, stride: m.C} }
+
+// rowsView is rows [i0, i1) of m as a view.
+func rowsView(m *Dense, i0, i1 int) view {
+	if i0 == i1 {
+		return view{r: 0, c: m.C, stride: m.C}
+	}
+	return view{data: m.Data[i0*m.C:], r: i1 - i0, c: m.C, stride: m.C}
+}
+
+// gemmView computes dst = A·B (mode gemmSet), dst += A·B (gemmAdd) or
+// dst −= A·B (gemmSub), where A is a (or aᵀ when aT) and B is b (or bᵀ
+// when bT). dst must be sized M×N with M = rows(A), N = cols(B); the
+// shared inner dimension K is taken from the operands. dst must not
+// overlap a or b. A nil engine (or a small problem) runs serially.
+func gemmView(e *compute.Engine, dst view, a view, aT bool, b view, bT bool, mode int) {
+	m, n := dst.r, dst.c
+	k := a.c
+	if aT {
+		k = a.r
+	}
+	kb := b.r
+	if bT {
+		kb = b.c
+	}
+	if k != kb {
+		panic("mat: gemm inner dimension mismatch")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if mode == gemmSet {
+			for i := 0; i < m; i++ {
+				row := dst.data[i*dst.stride : i*dst.stride+n]
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		return
+	}
+
+	// The parallel unit is normally a full MC panel. A matrix shorter than
+	// one panel would lose all fan-out, so its single panel is subdivided
+	// into mrTile-aligned row bands, one per lane: strip boundaries stay on
+	// the same global 4-row grid and every output element keeps its serial
+	// per-element accumulation order, so the result is still bit-identical
+	// to the serial run for any band size.
+	unit := mcBlock
+	wantParallel := fanOut(e, m*k*n)
+	if wantParallel && m <= mcBlock && m >= 2*mrTile {
+		perLane := (m + e.Workers() - 1) / e.Workers()
+		unit = (perLane + mrTile - 1) / mrTile * mrTile
+	}
+	panels := (m + unit - 1) / unit
+	parallel := panels > 1 && wantParallel
+
+	bp := packPool.GetF64(((ncBlock + nrTile - 1) / nrTile) * nrTile * kcBlock)
+	for jc := 0; jc < n; jc += ncBlock {
+		nc := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kc := min(kcBlock, k-pc)
+			packB(bp, b, bT, pc, kc, jc, nc)
+			md := mode
+			if mode == gemmSet && pc > 0 {
+				md = gemmAdd
+			}
+			run := func(lo, hi int) {
+				ap := packPool.GetF64(unit * kcBlock)
+				for pi := lo; pi < hi; pi++ {
+					ic := pi * unit
+					mc := min(unit, m-ic)
+					packA(ap, a, aT, ic, mc, pc, kc)
+					gemmMacro(dst, ap, bp, ic, mc, jc, nc, kc, md)
+				}
+				packPool.PutF64(ap)
+			}
+			if parallel {
+				e.ParallelFor(panels, run)
+			} else {
+				run(0, panels)
+			}
+		}
+	}
+	packPool.PutF64(bp)
+}
+
+// packA copies the mc×kc block of A at (ic, pc) into ap as strips of
+// mrTile rows: strip s holds rows [ic+s·mr, ic+s·mr+mr) laid out p-major
+// (ap[s·kc·mr + p·mr + r]), zero-padded to a full strip at the edge. When
+// aT is set the logical A is aᵀ, i.e. element (i, p) reads a.data[p][i].
+func packA(ap []float64, a view, aT bool, ic, mc, pc, kc int) {
+	off := 0
+	for s := 0; s < mc; s += mrTile {
+		mr := min(mrTile, mc-s)
+		if aT {
+			for p := 0; p < kc; p++ {
+				src := a.data[(pc+p)*a.stride+ic+s:]
+				for r := 0; r < mr; r++ {
+					ap[off+r] = src[r]
+				}
+				for r := mr; r < mrTile; r++ {
+					ap[off+r] = 0
+				}
+				off += mrTile
+			}
+			continue
+		}
+		r0 := a.data[(ic+s)*a.stride+pc:]
+		var r1, r2, r3 []float64
+		if mr > 1 {
+			r1 = a.data[(ic+s+1)*a.stride+pc:]
+		}
+		if mr > 2 {
+			r2 = a.data[(ic+s+2)*a.stride+pc:]
+		}
+		if mr > 3 {
+			r3 = a.data[(ic+s+3)*a.stride+pc:]
+		}
+		switch mr {
+		case 4:
+			for p := 0; p < kc; p++ {
+				ap[off] = r0[p]
+				ap[off+1] = r1[p]
+				ap[off+2] = r2[p]
+				ap[off+3] = r3[p]
+				off += 4
+			}
+		default:
+			for p := 0; p < kc; p++ {
+				ap[off] = r0[p]
+				if mr > 1 {
+					ap[off+1] = r1[p]
+				} else {
+					ap[off+1] = 0
+				}
+				if mr > 2 {
+					ap[off+2] = r2[p]
+				} else {
+					ap[off+2] = 0
+				}
+				ap[off+3] = 0
+				off += 4
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block of B at (pc, jc) into bp as strips of
+// nrTile columns: strip s holds columns [jc+s·nr, jc+s·nr+nr) laid out
+// p-major (bp[s·kc·nr + p·nr + t]), zero-padded at the edge. When bT is
+// set the logical B is bᵀ, i.e. element (p, j) reads b.data[j][p].
+func packB(bp []float64, b view, bT bool, pc, kc, jc, nc int) {
+	off := 0
+	for s := 0; s < nc; s += nrTile {
+		nr := min(nrTile, nc-s)
+		if bT {
+			var c0, c1, c2, c3 []float64
+			c0 = b.data[(jc+s)*b.stride+pc:]
+			if nr > 1 {
+				c1 = b.data[(jc+s+1)*b.stride+pc:]
+			}
+			if nr > 2 {
+				c2 = b.data[(jc+s+2)*b.stride+pc:]
+			}
+			if nr > 3 {
+				c3 = b.data[(jc+s+3)*b.stride+pc:]
+			}
+			for p := 0; p < kc; p++ {
+				bp[off] = c0[p]
+				if nr > 1 {
+					bp[off+1] = c1[p]
+				} else {
+					bp[off+1] = 0
+				}
+				if nr > 2 {
+					bp[off+2] = c2[p]
+				} else {
+					bp[off+2] = 0
+				}
+				if nr > 3 {
+					bp[off+3] = c3[p]
+				} else {
+					bp[off+3] = 0
+				}
+				off += 4
+			}
+			continue
+		}
+		if nr == 4 {
+			for p := 0; p < kc; p++ {
+				src := b.data[(pc+p)*b.stride+jc+s:]
+				bp[off] = src[0]
+				bp[off+1] = src[1]
+				bp[off+2] = src[2]
+				bp[off+3] = src[3]
+				off += 4
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := b.data[(pc+p)*b.stride+jc+s:]
+				for t := 0; t < nr; t++ {
+					bp[off+t] = src[t]
+				}
+				for t := nr; t < nrTile; t++ {
+					bp[off+t] = 0
+				}
+				off += 4
+			}
+		}
+	}
+}
+
+// gemmMacro runs the register-tile sweep of one packed A panel against the
+// packed B panel: B strips outer (each strip stays L1-resident across the
+// panel's rows), A strips inner. Interior tiles store straight into dst;
+// edge tiles go through a zero-padded scratch tile and merge.
+func gemmMacro(dst view, ap, bp []float64, ic, mc, jc, nc, kc, mode int) {
+	var tile [mrTile * nrTile]float64
+	for js := 0; js < nc; js += nrTile {
+		bstrip := bp[(js/nrTile)*kc*nrTile:]
+		nr := min(nrTile, nc-js)
+		for is := 0; is < mc; is += mrTile {
+			astrip := ap[(is/mrTile)*kc*mrTile:]
+			mr := min(mrTile, mc-is)
+			ci := (ic+is)*dst.stride + jc + js
+			if mr == mrTile && nr == nrTile {
+				gemmKernel4x4(dst.data[ci:], dst.stride, astrip, bstrip, kc, mode)
+				continue
+			}
+			for i := range tile {
+				tile[i] = 0
+			}
+			gemmKernel4x4(tile[:], nrTile, astrip, bstrip, kc, gemmSet)
+			for r := 0; r < mr; r++ {
+				drow := dst.data[ci+r*dst.stride : ci+r*dst.stride+nr]
+				trow := tile[r*nrTile : r*nrTile+nr]
+				switch mode {
+				case gemmAdd:
+					for t := range drow {
+						drow[t] += trow[t]
+					}
+				case gemmSub:
+					for t := range drow {
+						drow[t] -= trow[t]
+					}
+				default:
+					copy(drow, trow)
+				}
+			}
+		}
+	}
+}
+
+// gemmKernel4x4Go is the portable micro-kernel: a 4×4 tile of dst
+// (row stride ldc) gets the product of a packed mrTile-row A strip and a
+// packed nrTile-column B strip over kc steps. Sixteen scalar accumulators
+// live in registers across the k loop; the tile is touched once at the
+// end. It is the only kernel on non-amd64 builds and the fallback when
+// the CPU lacks AVX2/FMA; gemm_test.go pins it against the assembly path.
+func gemmKernel4x4Go(c []float64, ldc int, ap, bp []float64, kc, mode int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	i := 0
+	for p := 0; p < kc; p++ {
+		a0, a1, a2, a3 := ap[i], ap[i+1], ap[i+2], ap[i+3]
+		b0, b1, b2, b3 := bp[i], bp[i+1], bp[i+2], bp[i+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		i += 4
+	}
+	r0 := c[0:4:4]
+	r1 := c[ldc : ldc+4 : ldc+4]
+	r2 := c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	r3 := c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	switch mode {
+	case gemmAdd:
+		r0[0] += c00
+		r0[1] += c01
+		r0[2] += c02
+		r0[3] += c03
+		r1[0] += c10
+		r1[1] += c11
+		r1[2] += c12
+		r1[3] += c13
+		r2[0] += c20
+		r2[1] += c21
+		r2[2] += c22
+		r2[3] += c23
+		r3[0] += c30
+		r3[1] += c31
+		r3[2] += c32
+		r3[3] += c33
+	case gemmSub:
+		r0[0] -= c00
+		r0[1] -= c01
+		r0[2] -= c02
+		r0[3] -= c03
+		r1[0] -= c10
+		r1[1] -= c11
+		r1[2] -= c12
+		r1[3] -= c13
+		r2[0] -= c20
+		r2[1] -= c21
+		r2[2] -= c22
+		r2[3] -= c23
+		r3[0] -= c30
+		r3[1] -= c31
+		r3[2] -= c32
+		r3[3] -= c33
+	default:
+		r0[0] = c00
+		r0[1] = c01
+		r0[2] = c02
+		r0[3] = c03
+		r1[0] = c10
+		r1[1] = c11
+		r1[2] = c12
+		r1[3] = c13
+		r2[0] = c20
+		r2[1] = c21
+		r2[2] = c22
+		r2[3] = c23
+		r3[0] = c30
+		r3[1] = c31
+		r3[2] = c32
+		r3[3] = c33
+	}
+}

@@ -1,0 +1,34 @@
+//go:build amd64
+
+package mat
+
+// On amd64 the 4×4 micro-kernel has an AVX2+FMA implementation
+// (gemm_amd64.s): the four C-tile rows live in four YMM accumulators and
+// each k step is one 256-bit B load, four A broadcasts and four fused
+// multiply-adds. Feature detection runs once at init via CPUID/XGETBV;
+// CPUs without AVX2+FMA (or OS contexts not saving YMM state) fall back
+// to the portable scalar kernel.
+//
+// The FMA kernel contracts each a·b+c without an intermediate rounding,
+// so packed products differ from the naive loops in the last bits — all
+// equivalence tests against the naive reference are tolerance-based
+// (gemm_test.go), while serial-vs-parallel equivalence stays exact
+// because both run the same kernel in the same per-element order.
+var useFMAKernel = cpuHasAVX2FMA()
+
+// cpuHasAVX2FMA reports AVX2+FMA support with OS-enabled YMM state.
+func cpuHasAVX2FMA() bool
+
+// gemmKernel4x4FMA is the AVX2+FMA micro-kernel. c must expose at least
+// 3·ldc+4 elements, ap and bp at least 4·kc.
+//
+//go:noescape
+func gemmKernel4x4FMA(c []float64, ldc int, ap, bp []float64, kc, mode int)
+
+func gemmKernel4x4(c []float64, ldc int, ap, bp []float64, kc, mode int) {
+	if useFMAKernel {
+		gemmKernel4x4FMA(c, ldc, ap, bp, kc, mode)
+		return
+	}
+	gemmKernel4x4Go(c, ldc, ap, bp, kc, mode)
+}

@@ -1,0 +1,148 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// CPUID leaf 1: ECX bit 12 = FMA, bit 27 = OSXSAVE, bit 28 = AVX.
+// XGETBV(0): bits 1,2 = OS saves XMM+YMM state.
+// CPUID leaf 7 subleaf 0: EBX bit 5 = AVX2.
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $402657280, R8 // FMA | OSXSAVE | AVX = 1<<12 | 1<<27 | 1<<28
+	CMPL R8, $402657280
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX         // XCR0: XMM (bit 1) and YMM (bit 2) state enabled
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $32, BX        // AVX2 = 1<<5
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmKernel4x4FMA(c []float64, ldc int, ap, bp []float64, kc, mode int)
+//
+// 4×4 register tile: Y0..Y3 accumulate rows 0..3 of the tile. Each k step
+// loads one B strip row (4 doubles, contiguous) and broadcasts the four A
+// strip values, issuing four VFMADD231PD. The k loop is unrolled ×2. At
+// the end the tile is stored to c with row stride ldc according to mode
+// (0 = overwrite, 1 = add, 2 = subtract).
+TEXT ·gemmKernel4x4FMA(SB), NOSPLIT, $0-96
+	MOVQ c_base+0(FP), DI
+	MOVQ ldc+24(FP), DX
+	MOVQ ap_base+32(FP), SI
+	MOVQ bp_base+56(FP), BX
+	MOVQ kc+80(FP), CX
+	MOVQ mode+88(FP), R8
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	MOVQ CX, R9
+	SHRQ $1, R9         // R9 = kc/2 (unrolled pairs)
+	JZ   tail
+
+pair:
+	VMOVUPD      (BX), Y4
+	VBROADCASTSD (SI), Y5
+	VFMADD231PD  Y4, Y5, Y0
+	VBROADCASTSD 8(SI), Y6
+	VFMADD231PD  Y4, Y6, Y1
+	VBROADCASTSD 16(SI), Y7
+	VFMADD231PD  Y4, Y7, Y2
+	VBROADCASTSD 24(SI), Y8
+	VFMADD231PD  Y4, Y8, Y3
+
+	VMOVUPD      32(BX), Y9
+	VBROADCASTSD 32(SI), Y10
+	VFMADD231PD  Y9, Y10, Y0
+	VBROADCASTSD 40(SI), Y11
+	VFMADD231PD  Y9, Y11, Y1
+	VBROADCASTSD 48(SI), Y12
+	VFMADD231PD  Y9, Y12, Y2
+	VBROADCASTSD 56(SI), Y13
+	VFMADD231PD  Y9, Y13, Y3
+
+	ADDQ $64, SI
+	ADDQ $64, BX
+	DECQ R9
+	JNZ  pair
+
+tail:
+	ANDQ $1, CX
+	JZ   store
+	VMOVUPD      (BX), Y4
+	VBROADCASTSD (SI), Y5
+	VFMADD231PD  Y4, Y5, Y0
+	VBROADCASTSD 8(SI), Y6
+	VFMADD231PD  Y4, Y6, Y1
+	VBROADCASTSD 16(SI), Y7
+	VFMADD231PD  Y4, Y7, Y2
+	VBROADCASTSD 24(SI), Y8
+	VFMADD231PD  Y4, Y8, Y3
+
+store:
+	SHLQ $3, DX         // ldc in bytes
+	CMPQ R8, $1
+	JEQ  madd
+	CMPQ R8, $2
+	JEQ  msub
+
+	// mode 0: overwrite
+	VMOVUPD Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPD Y1, (DI)
+	ADDQ    DX, DI
+	VMOVUPD Y2, (DI)
+	ADDQ    DX, DI
+	VMOVUPD Y3, (DI)
+	VZEROUPPER
+	RET
+
+madd:
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y1, Y1
+	VMOVUPD Y1, (DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y2, Y2
+	VMOVUPD Y2, (DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y3, Y3
+	VMOVUPD Y3, (DI)
+	VZEROUPPER
+	RET
+
+msub:
+	VMOVUPD (DI), Y4
+	VSUBPD  Y0, Y4, Y4
+	VMOVUPD Y4, (DI)
+	ADDQ    DX, DI
+	VMOVUPD (DI), Y5
+	VSUBPD  Y1, Y5, Y5
+	VMOVUPD Y5, (DI)
+	ADDQ    DX, DI
+	VMOVUPD (DI), Y6
+	VSUBPD  Y2, Y6, Y6
+	VMOVUPD Y6, (DI)
+	ADDQ    DX, DI
+	VMOVUPD (DI), Y7
+	VSUBPD  Y3, Y7, Y7
+	VMOVUPD Y7, (DI)
+	VZEROUPPER
+	RET

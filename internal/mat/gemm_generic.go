@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds use the portable scalar micro-kernel.
+func gemmKernel4x4(c []float64, ldc int, ap, bp []float64, kc, mode int) {
+	gemmKernel4x4Go(c, ldc, ap, bp, kc, mode)
+}

@@ -7,12 +7,22 @@ import (
 )
 
 // parallelThreshold is the flop count above which the multiply kernels fan
-// work out to the engine's worker pool. Below it the handoff overhead
-// dominates.
+// work out to the engine's worker pool. At or below it the handoff
+// overhead dominates, so a problem of exactly this size stays serial
+// (threshold_test.go pins the boundary).
 const parallelThreshold = 1 << 18
 
-// Mul returns a*b using a blocked i-k-j kernel, parallelized over row
-// bands on the shared compute engine when the problem is large enough.
+// fanOut reports whether a kernel with the given flop count should split
+// across engine e. The comparison is strict: work fans out only strictly
+// above parallelThreshold.
+func fanOut(e *compute.Engine, flops int) bool {
+	return flops > parallelThreshold && e.Workers() > 1
+}
+
+// Mul returns a*b. Problems of at least gemmMinFlops run through the
+// packed register-blocked GEMM (see gemm.go), fanned out over row panels
+// on the shared compute engine when large enough; smaller ones use a
+// serial i-k-j loop.
 func Mul(a, b *Dense) *Dense {
 	return MulWith(compute.Default(), nil, a, b)
 }
@@ -65,14 +75,13 @@ func overlaps(x, y []float64) bool {
 }
 
 func mulIntoWith(e *compute.Engine, out, a, b *Dense) {
-	flops := a.R * a.C * b.C
-	if flops < parallelThreshold || e.Workers() <= 1 || a.R < 2 {
-		mulRange(out, a, b, 0, a.R)
+	if a.R*a.C*b.C >= gemmMinFlops {
+		gemmView(e, denseView(out), denseView(a), false, denseView(b), false, gemmSet)
 		return
 	}
-	e.ParallelFor(a.R, func(lo, hi int) {
-		mulRange(out, a, b, lo, hi)
-	})
+	// Below gemmMinFlops the problem is far under parallelThreshold too,
+	// so the naive kernel always runs serially on the caller.
+	mulRange(out, a, b, 0, a.R)
 }
 
 // mulRange computes rows [lo,hi) of out = a*b with an ikj loop order so
@@ -110,14 +119,11 @@ func MulTWith(e *compute.Engine, ws *compute.Workspace, a, b *Dense) *Dense {
 		panic("mat: MulT dimension mismatch")
 	}
 	out := getDenseRaw(ws, a.C, b.C)
-	flops := a.R * a.C * b.C
-	if flops < parallelThreshold || e.Workers() <= 1 || a.C < 2 {
-		mulTRange(out, a, b, 0, a.C)
+	if a.R*a.C*b.C >= gemmMinFlops {
+		gemmView(e, denseView(out), denseView(a), true, denseView(b), false, gemmSet)
 		return out
 	}
-	e.ParallelFor(a.C, func(lo, hi int) {
-		mulTRange(out, a, b, lo, hi)
-	})
+	mulTRange(out, a, b, 0, a.C)
 	return out
 }
 
@@ -166,8 +172,9 @@ func MulVec(a *Dense, x []float64) []float64 {
 }
 
 // Gram returns mᵀm (C×C) if byCols, else m mᵀ (R×R). The result is
-// symmetric positive semidefinite; only the upper triangle is computed
-// and mirrored.
+// symmetric positive semidefinite, with exact symmetry pinned by
+// mirroring the upper triangle (the small-input paths compute only that
+// triangle; the packed-GEMM path computes both and re-mirrors).
 func Gram(m *Dense, byCols bool) *Dense {
 	return GramWith(compute.Default(), nil, m, byCols)
 }
@@ -176,7 +183,7 @@ func Gram(m *Dense, byCols bool) *Dense {
 // from ws (nil ws allocates).
 func GramWith(e *compute.Engine, ws *compute.Workspace, m *Dense, byCols bool) *Dense {
 	if byCols {
-		return gramCols(ws, m)
+		return gramCols(e, ws, m)
 	}
 	return gramRows(e, ws, m)
 }
@@ -184,18 +191,17 @@ func GramWith(e *compute.Engine, ws *compute.Workspace, m *Dense, byCols bool) *
 func gramRows(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
 	n := m.R
 	out := getDenseRaw(ws, n, n)
-	if n*n*m.C < parallelThreshold || e.Workers() <= 1 {
-		gramRowsRange(out, m, 0, n)
+	if n*n*m.C >= gemmMinFlops {
+		// m·mᵀ through the packed kernel; the transpose is absorbed by
+		// the B-packing read. The product is symmetric by construction
+		// (identical per-element accumulation order for (i,j) and (j,i)),
+		// but the upper triangle is mirrored anyway to pin the exact
+		// symmetry the eigensolver relies on.
+		gemmView(e, denseView(out), denseView(m), false, denseView(m), true, gemmSet)
 	} else {
-		e.ParallelFor(n, func(lo, hi int) {
-			gramRowsRange(out, m, lo, hi)
-		})
+		gramRowsRange(out, m, 0, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < i; j++ {
-			out.Data[i*n+j] = out.Data[j*n+i]
-		}
-	}
+	mirrorUpperToLower(out)
 	return out
 }
 
@@ -214,9 +220,16 @@ func gramRowsRange(out, m *Dense, lo, hi int) {
 	}
 }
 
-func gramCols(ws *compute.Workspace, m *Dense) *Dense {
-	// mᵀm accumulated row-by-row of m: for each row r, out += r rᵀ.
+func gramCols(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
+	// mᵀm through the packed kernel when large; the rank-1 accumulation
+	// below handles small inputs without packing overhead.
 	n := m.C
+	if flops := n * n * m.R; flops >= gemmMinFlops {
+		out := getDenseRaw(ws, n, n)
+		gemmView(e, denseView(out), denseView(m), true, denseView(m), false, gemmSet)
+		mirrorUpperToLower(out)
+		return out
+	}
 	out := GetDense(ws, n, n)
 	for k := 0; k < m.R; k++ {
 		row := m.Row(k)
@@ -231,10 +244,17 @@ func gramCols(ws *compute.Workspace, m *Dense) *Dense {
 			}
 		}
 	}
+	mirrorUpperToLower(out)
+	return out
+}
+
+// mirrorUpperToLower copies the strict upper triangle of the square
+// matrix out onto its lower triangle, pinning exact symmetry.
+func mirrorUpperToLower(out *Dense) {
+	n := out.C
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {
 			out.Data[i*n+j] = out.Data[j*n+i]
 		}
 	}
-	return out
 }

@@ -13,41 +13,86 @@ type QR struct {
 	R *Dense
 }
 
+// qrPanel is the blocked-QR panel width: columns are factored panel by
+// panel, and each panel is orthogonalized against all previous columns
+// with two GEMM passes (the trailing-matrix update) before the
+// column-by-column MGS runs inside the panel. 32 keeps the panel (32
+// contiguous rows of the transposed working copy) L1-resident for typical
+// row counts while giving the trailing update tall-enough GEMM operands.
+const qrPanel = 32
+
 // QRFactor computes the thin QR factorization of a (m×n, m ≥ n) by
-// modified Gram–Schmidt with one re-orthogonalization pass. MGS with
-// re-orthogonalization is numerically comparable to Householder for the
-// well- to moderately-conditioned matrices this package sees, and keeps
-// Q explicit, which the incremental-SVD layer needs.
+// blocked modified Gram–Schmidt with re-orthogonalization. Panels of
+// qrPanel columns are first orthogonalized against the already-factored
+// columns via the packed GEMM (two passes — block CGS2, numerically
+// comparable to Householder for the well- to moderately-conditioned
+// matrices this package sees), then factored internally by two-pass MGS.
+// Q stays explicit, which the incremental-SVD layer needs.
 func QRFactor(a *Dense) *QR {
-	return QRFactorWith(nil, a)
+	return QRFactorOn(compute.Default(), nil, a)
 }
 
 // QRFactorWith is QRFactor with Q and R borrowed from ws (nil ws
 // allocates). Return both factors with PutDense (or qr.Release) when the
 // factorization is no longer needed.
 func QRFactorWith(ws *compute.Workspace, a *Dense) *QR {
+	return QRFactorOn(compute.Default(), ws, a)
+}
+
+// QRFactorOn is QRFactorWith with the trailing-matrix GEMM updates routed
+// through engine e (nil e runs them serially).
+//
+// The factorization works on the transpose of a: columns become
+// contiguous rows, so every dot product, axpy and norm in the panel
+// streams unit-stride, and the trailing update is a pair of view-GEMMs
+// over row blocks. The result is transposed back into Q at the end.
+func QRFactorOn(e *compute.Engine, ws *compute.Workspace, a *Dense) *QR {
 	m, n := a.R, a.C
 	if m < n {
 		panic("mat: QRFactor requires rows >= cols")
 	}
-	q := CloneWith(ws, a)
+	qt := TWith(ws, a) // n×m: row j is column j of a
 	r := GetDense(ws, n, n)
-	for j := 0; j < n; j++ {
-		// Two MGS passes against previous columns; the second pass
-		// re-orthogonalizes and its corrections accumulate into R.
-		for pass := 0; pass < 2; pass++ {
-			for i := 0; i < j; i++ {
-				dot := colDot(q, i, j)
-				r.Data[i*n+j] += dot
-				colAxpy(q, -dot, i, j)
+	for j0 := 0; j0 < n; j0 += qrPanel {
+		j1 := min(j0+qrPanel, n)
+		if j0 > 0 {
+			// Orthogonalize the panel against all previous columns: two
+			// block passes (CGS2). S = Qprevᵀ·P is qtLeft·qtPanelᵀ in the
+			// transposed layout; the corrections accumulate into R and the
+			// panel update P −= Qprev·S is a GEMM in sub mode.
+			for pass := 0; pass < 2; pass++ {
+				s := getDenseRaw(ws, j0, j1-j0)
+				gemmView(e, denseView(s), rowsView(qt, 0, j0), false, rowsView(qt, j0, j1), true, gemmSet)
+				for i := 0; i < j0; i++ {
+					srow := s.Row(i)
+					rrow := r.Row(i)
+					for jj, v := range srow {
+						rrow[j0+jj] += v
+					}
+				}
+				gemmView(e, rowsView(qt, j0, j1), denseView(s), true, rowsView(qt, 0, j0), false, gemmSub)
+				PutDense(ws, s)
 			}
 		}
-		nrm := colNorm(q, j)
-		r.Data[j*n+j] = nrm
-		if nrm > 0 {
-			colScale(q, j, 1/nrm)
+		// Two MGS passes inside the panel; the second pass
+		// re-orthogonalizes and its corrections accumulate into R.
+		for j := j0; j < j1; j++ {
+			for pass := 0; pass < 2; pass++ {
+				for i := j0; i < j; i++ {
+					dot := rowDot(qt, i, j)
+					r.Data[i*n+j] += dot
+					rowAxpy(qt, -dot, i, j)
+				}
+			}
+			nrm := rowNorm(qt, j)
+			r.Data[j*n+j] = nrm
+			if nrm > 0 {
+				rowScale(qt, j, 1/nrm)
+			}
 		}
 	}
+	q := TWith(ws, qt)
+	PutDense(ws, qt)
 	return &QR{Q: q, R: r}
 }
 
@@ -57,36 +102,38 @@ func (qr *QR) Release(ws *compute.Workspace) {
 	PutDense(ws, qr.R)
 }
 
-// colDot returns column i · column j of m.
-func colDot(m *Dense, i, j int) float64 {
+// rowDot returns row i · row j of m (contiguous).
+func rowDot(m *Dense, i, j int) float64 {
+	ri := m.Row(i)
+	rj := m.Row(j)
 	var s float64
-	for k := 0; k < m.R; k++ {
-		row := m.Data[k*m.C:]
-		s += row[i] * row[j]
+	for k, v := range ri {
+		s += v * rj[k]
 	}
 	return s
 }
 
-// colAxpy does column j += alpha * column i.
-func colAxpy(m *Dense, alpha float64, i, j int) {
-	for k := 0; k < m.R; k++ {
-		row := m.Data[k*m.C:]
-		row[j] += alpha * row[i]
+// rowAxpy does row j += alpha * row i.
+func rowAxpy(m *Dense, alpha float64, i, j int) {
+	ri := m.Row(i)
+	rj := m.Row(j)
+	for k, v := range ri {
+		rj[k] += alpha * v
 	}
 }
 
-func colNorm(m *Dense, j int) float64 {
+func rowNorm(m *Dense, j int) float64 {
 	var s float64
-	for k := 0; k < m.R; k++ {
-		v := m.Data[k*m.C+j]
+	for _, v := range m.Row(j) {
 		s += v * v
 	}
 	return math.Sqrt(s)
 }
 
-func colScale(m *Dense, j int, s float64) {
-	for k := 0; k < m.R; k++ {
-		m.Data[k*m.C+j] *= s
+func rowScale(m *Dense, j int, s float64) {
+	rj := m.Row(j)
+	for k := range rj {
+		rj[k] *= s
 	}
 }
 

@@ -1,0 +1,75 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+// TestUpdateBlockMatchesColumnwise pins the amortization contract: a
+// stream absorbed in blocks of w columns spans the same subspace as the
+// same stream absorbed column by column, up to rank-truncation noise.
+func TestUpdateBlockMatchesColumnwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := 60
+	full := randDense(rng, m, 72)
+	seed := full.ColSlice(0, 16)
+	rest := full.ColSlice(16, 72)
+
+	for _, w := range []int{2, 4, 8} {
+		blocked := NewIncremental(seed, 0)
+		blocked.UpdateBlock(rest, w)
+		colwise := NewIncremental(seed, 0)
+		colwise.UpdateBlock(rest, 1)
+
+		if blocked.Cols() != 72 || colwise.Cols() != 72 {
+			t.Fatalf("w=%d: cols %d / %d want 72", w, blocked.Cols(), colwise.Cols())
+		}
+		for i := 0; i < 10; i++ {
+			if d := math.Abs(blocked.S[i] - colwise.S[i]); d > 1e-8*(1+colwise.S[0]) {
+				t.Fatalf("w=%d: σ[%d] differs by %g between block and columnwise", w, i, d)
+			}
+		}
+		br := blocked.Result().Reconstruct()
+		cr := colwise.Result().Reconstruct()
+		if d := mat.Sub(br, cr).FrobNorm(); d > 1e-8*(1+full.FrobNorm()) {
+			t.Fatalf("w=%d: block reconstruction deviates from columnwise by %g", w, d)
+		}
+		// Both must also still match the data they absorbed.
+		if d := mat.Sub(br, full).FrobNorm(); d > 1e-6*(1+full.FrobNorm()) {
+			t.Fatalf("w=%d: block reconstruction deviates from data by %g", w, d)
+		}
+	}
+}
+
+// TestUpdateBlockDegenerateWidths checks the w <= 0 / w >= cols edges
+// collapse to a single-block Update, and empty input is a no-op.
+func TestUpdateBlockDegenerateWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	seed := randDense(rng, 20, 6)
+	blk := randDense(rng, 20, 5)
+
+	single := NewIncremental(seed, 0)
+	single.Update(blk)
+	for _, w := range []int{0, -3, 5, 100} {
+		inc := NewIncremental(seed, 0)
+		inc.UpdateBlock(blk, w)
+		if inc.Cols() != single.Cols() {
+			t.Fatalf("w=%d: cols %d want %d", w, inc.Cols(), single.Cols())
+		}
+		for i := range single.S {
+			if math.Abs(inc.S[i]-single.S[i]) > 1e-12*(1+single.S[0]) {
+				t.Fatalf("w=%d: σ[%d] deviates from single-block update", w, i)
+			}
+		}
+	}
+
+	inc := NewIncremental(seed, 0)
+	before := inc.Cols()
+	inc.UpdateBlock(mat.NewDense(20, 0), 4)
+	if inc.Cols() != before {
+		t.Fatal("empty UpdateBlock changed state")
+	}
+}

@@ -91,6 +91,35 @@ func (inc *Incremental) Rank() int { return len(inc.S) }
 // WorkspaceStats reports buffer-pool gets and hits (for reuse tests).
 func (inc *Incremental) WorkspaceStats() (gets, hits int) { return inc.ws.Stats() }
 
+// UpdateBlock absorbs c in chunks of w columns. Each chunk costs one QR
+// of the residual block plus one (q+w)-sized core SVD and basis rotation,
+// so a block of w columns pays a single factorization where w
+// column-at-a-time updates (w = 1) would pay w of them — the amortization
+// behind core's BlockColumns knob. The absorbed subspace is the same:
+// Brand updates compose exactly up to rank truncation, so chunked and
+// columnwise absorption agree to working precision (blockcolumns tests in
+// svd and core pin this).
+//
+// w <= 0, or w >= c.C, absorbs c as one block — identical to Update.
+func (inc *Incremental) UpdateBlock(c *mat.Dense, w int) {
+	if c.C == 0 {
+		return
+	}
+	if w <= 0 || w >= c.C {
+		inc.Update(c)
+		return
+	}
+	for j := 0; j < c.C; j += w {
+		hi := j + w
+		if hi > c.C {
+			hi = c.C
+		}
+		blk := mat.ColSliceWith(inc.ws, c, j, hi)
+		inc.Update(blk)
+		mat.PutDense(inc.ws, blk)
+	}
+}
+
 // Update absorbs a new block of columns c (m×k). Blocks wider than the
 // row count are split so the residual QR stays tall.
 func (inc *Incremental) Update(c *mat.Dense) {
@@ -126,7 +155,7 @@ func (inc *Incremental) update(c *mat.Dense) {
 	for i := range h.Data {
 		h.Data[i] = c.Data[i] - h.Data[i]
 	}
-	qr := mat.QRFactorWith(ws, h) // J (m×k) orthonormal, R (k×k)
+	qr := mat.QRFactorOn(inc.eng, ws, h) // J (m×k) orthonormal, R (k×k)
 	mat.PutDense(ws, h)
 
 	// Augmented core K ((q+k)×(q+k)).
@@ -138,7 +167,7 @@ func (inc *Incremental) update(c *mat.Dense) {
 	for i := 0; i < k; i++ {
 		copy(kk.Row(q + i)[q:], qr.R.Row(i))
 	}
-	core := jacobiSVDWS(kk, ws, true)
+	core := jacobiSVDWS(inc.eng, kk, ws, true)
 	mat.PutDense(ws, kk)
 	mat.PutDense(ws, l)
 
@@ -216,7 +245,7 @@ func (inc *Incremental) truncate() {
 func (inc *Incremental) reorthogonalize() {
 	q := inc.Rank()
 	ws := inc.ws
-	qr := mat.QRFactorWith(ws, inc.U)
+	qr := mat.QRFactorOn(inc.eng, ws, inc.U)
 	rs := mat.CloneWith(ws, qr.R)
 	for i := 0; i < q; i++ {
 		row := rs.Row(i)
@@ -224,7 +253,7 @@ func (inc *Incremental) reorthogonalize() {
 			row[j] *= inc.S[j]
 		}
 	}
-	core := jacobiSVDWS(rs, ws, true)
+	core := jacobiSVDWS(inc.eng, rs, ws, true)
 	mat.PutDense(ws, rs)
 	newU := mat.MulWith(inc.eng, ws, qr.Q, core.U)
 	newV := mat.MulWith(inc.eng, ws, inc.V, core.V)

@@ -66,7 +66,7 @@ func (inc *Incremental) addRows(b *mat.Dense) {
 	}
 	ht := mat.TWith(ws, h) // t×k
 	mat.PutDense(ws, h)
-	qr := mat.QRFactorWith(ws, ht) // Qh (t×k), Rh (k×k); Hᵀ = Qh Rh
+	qr := mat.QRFactorOn(inc.eng, ws, ht) // Qh (t×k), Rh (k×k); Hᵀ = Qh Rh
 	mat.PutDense(ws, ht)
 
 	// Augmented core ((q+k)×(q+k)): [Σ 0; L Rhᵀ].
@@ -80,7 +80,7 @@ func (inc *Incremental) addRows(b *mat.Dense) {
 			kk.Set(q+i, q+j, qr.R.At(j, i))
 		}
 	}
-	core := jacobiSVDWS(kk, ws, true)
+	core := jacobiSVDWS(inc.eng, kk, ws, true)
 	mat.PutDense(ws, kk)
 	mat.PutDense(ws, l)
 

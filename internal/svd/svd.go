@@ -103,27 +103,57 @@ func ComputeWith(e *compute.Engine, ws *compute.Workspace, a *mat.Dense) *Result
 		return &Result{U: mat.NewDense(m, 0), S: nil, V: mat.NewDense(n, 0)}
 	}
 	if min(m, n) <= jacobiCutoff {
-		return jacobiSVDWS(a, ws, false)
+		return jacobiSVDWS(e, a, ws, false)
 	}
 	return snapshotSVD(e, ws, a)
 }
 
 // jacobiSVD computes the economy SVD by one-sided Jacobi rotations on the
 // columns of the (possibly transposed) matrix.
-func jacobiSVD(a *mat.Dense) *Result { return jacobiSVDWS(a, nil, false) }
+func jacobiSVD(a *mat.Dense) *Result { return jacobiSVDWS(nil, a, nil, false) }
+
+// qrPrecondRatio is the tall-ness (m/n) at which jacobiSVDWS switches to
+// QR preconditioning: factor A = Q·R first and run the Jacobi sweeps on
+// the small n×n R instead of the full m×n matrix. Each rotation then
+// touches n-length columns instead of m-length ones, the QR itself goes
+// through the packed-GEMM trailing update, and the final U = Q·Ur is one
+// more GEMM — so the tall-window SVDs that dominate mrDMD subtree fits
+// cost O(m·n²) in fast kernels plus an n-sized Jacobi, not an m-sized
+// one. Accuracy is preserved: MGS2 QR is backward stable and one-sided
+// Jacobi on R is the classical high-accuracy route (Drmač–Veselić).
+const qrPrecondRatio = 2
 
 // jacobiSVDWS is jacobiSVD with rotation scratch borrowed from ws. When
 // poolOut is set, the returned U and V are workspace storage too and the
 // caller must PutDense them back (used by the incremental updates, whose
 // factor matrices are recycled every step).
-func jacobiSVDWS(a *mat.Dense, ws *compute.Workspace, poolOut bool) *Result {
+func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut bool) *Result {
 	m, n := a.Dims()
 	if m < n {
 		// Factor the transpose and swap factors: Aᵀ = U S Vᵀ ⇒ A = V S Uᵀ.
 		at := mat.TWith(ws, a)
-		r := jacobiSVDWS(at, ws, poolOut)
+		r := jacobiSVDWS(e, at, ws, poolOut)
 		mat.PutDense(ws, at)
 		return &Result{U: r.V, S: r.S, V: r.U}
+	}
+	if n >= 2 && m >= qrPrecondRatio*n {
+		// Tall case: A = Q·R, SVD the small R, rotate Q.
+		qr := mat.QRFactorOn(e, ws, a)
+		rs := jacobiSVDWS(e, qr.R, ws, true)
+		var u *mat.Dense
+		if poolOut {
+			u = mat.MulWith(e, ws, qr.Q, rs.U)
+		} else {
+			u = mat.MulWith(e, nil, qr.Q, rs.U)
+		}
+		qr.Release(ws)
+		mat.PutDense(ws, rs.U)
+		v := rs.V
+		if !poolOut {
+			v = rs.V.Clone()
+			mat.PutDense(ws, rs.V)
+		}
+		return &Result{U: u, S: rs.S, V: v}
 	}
 	w := mat.CloneWith(ws, a) // columns will be rotated into U·Σ
 	v := mat.GetDense(ws, n, n)
