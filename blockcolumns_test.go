@@ -29,7 +29,7 @@ func TestOptionsBlockColumns(t *testing.T) {
 	}
 
 	run := func(blockCols int) float64 {
-		a := New(Options{DT: 1, MaxLevels: 3, MaxCycles: 2, Rank: 4, BlockColumns: blockCols})
+		a := mustNew(t, Options{DT: 1, MaxLevels: 3, MaxCycles: 2, Rank: 4, BlockColumns: blockCols})
 		if err := a.InitialFit(s.Slice(0, initialT)); err != nil {
 			t.Fatal(err)
 		}

@@ -26,20 +26,58 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("imrdmd: ")
 	var (
-		in      = flag.String("in", "", "input sensor CSV (required)")
-		dt      = flag.Float64("dt", 1, "sampling interval (seconds)")
-		levels  = flag.Int("levels", 6, "max mrDMD levels")
-		cycles  = flag.Int("cycles", 2, "max slow-mode cycles per window")
-		svht    = flag.Bool("svht", true, "use SVHT rank truncation")
-		rank    = flag.Int("rank", 0, "fixed SVD rank (0 = automatic)")
-		initial = flag.Int("initial", 0, "initial-fit columns (0 = half the data)")
-		batch   = flag.Int("batch", 0, "partial-fit batch columns (0 = no streaming)")
-		baseLo  = flag.Float64("baseline-lo", 46, "baseline mean lower bound")
-		baseHi  = flag.Float64("baseline-hi", 57, "baseline mean upper bound")
-		workers = flag.Int("workers", 0, "compute-engine worker lanes (0 = GOMAXPROCS)")
-		blkCols = flag.Int("block-columns", 8, "incremental-SVD block-column width (1 = column at a time, 0 = one block per batch)")
-		outDir  = flag.String("out", ".", "output directory")
+		in        = flag.String("in", "", "input sensor CSV (required)")
+		dt        = flag.Float64("dt", 1, "sampling interval (seconds)")
+		levels    = flag.Int("levels", 6, "max mrDMD levels")
+		cycles    = flag.Int("cycles", 2, "max slow-mode cycles per window")
+		svht      = flag.Bool("svht", true, "use SVHT rank truncation")
+		rank      = flag.Int("rank", 0, "fixed SVD rank (0 = automatic)")
+		initial   = flag.Int("initial", 0, "initial-fit columns (0 = half the data)")
+		batch     = flag.Int("batch", 0, "partial-fit batch columns (0 = no streaming)")
+		baseLo    = flag.Float64("baseline-lo", 46, "baseline mean lower bound")
+		baseHi    = flag.Float64("baseline-hi", 57, "baseline mean upper bound")
+		workers   = flag.Int("workers", 0, "compute-engine worker lanes (0 = GOMAXPROCS)")
+		blkCols   = flag.Int("block-columns", 8, "incremental-SVD block-column width (1 = column at a time, 0 = one block per batch)")
+		precision = flag.String("precision", "float64", `arithmetic tier: "float64" or "mixed"`)
+		outDir    = flag.String("out", ".", "output directory")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, `Usage: imrdmd -in data.csv [options]
+
+Runs the I-mrDMD pipeline on a sensor CSV (one row per sensor, as
+produced by loggen): initial fit on the first -initial columns, streamed
+partial fits in -batch column blocks, then writes the reconstruction,
+spectrum and baseline z-scores to -out.
+
+Performance knobs and how they interact:
+
+  -workers N         Sizes the long-lived compute-engine pool that every
+                     kernel, sibling-window recursion and async recompute
+                     runs on (0 = GOMAXPROCS). One pool serves the whole
+                     run; it bounds total goroutine fan-out.
+  -block-columns W   Chunks the streaming level-1 SVD's absorption of new
+                     samples: each chunk of W columns pays one residual QR
+                     plus one small core SVD, so larger W amortizes
+                     factorizations across a -batch. 1 = column at a time,
+                     0 = whole batch as one block. Any W yields the same
+                     subspace up to rank truncation; it trades per-batch
+                     latency against factorization count, and each chunk
+                     still parallelizes across -workers lanes.
+  -precision TIER    "float64" (default) keeps every stage in float64 and
+                     is bit-stable run to run. "mixed" screens each
+                     subtree window in float32 — half the memory traffic,
+                     twice the SIMD width on the same -workers lanes — and
+                     recomputes only the SVHT-kept directions in float64;
+                     kept-mode sets match float64 within SVHT tolerance.
+                     The streaming level-1 SVD (the part -block-columns
+                     chunks) always stays float64, so -precision and
+                     -block-columns compose independently.
+
+Options:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -66,11 +104,14 @@ func main() {
 		}
 	}
 
-	a := imrdmd.New(imrdmd.Options{
+	a, err := imrdmd.New(imrdmd.Options{
 		DT: *dt, MaxLevels: *levels, MaxCycles: *cycles,
 		UseSVHT: *svht, Rank: *rank, Parallel: true, Workers: *workers,
-		BlockColumns: *blkCols,
+		BlockColumns: *blkCols, Precision: *precision,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	if err := a.InitialFit(series.Slice(0, init)); err != nil {
 		log.Fatal(err)

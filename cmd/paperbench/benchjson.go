@@ -15,8 +15,11 @@ import (
 )
 
 // benchSnapshot is the perf-trajectory record emitted by -bench-json: the
-// hot-path metrics the kernel work optimizes (dense multiply variants and
-// streamed PartialFit), captured per PR so regressions are diffable.
+// hot-path metrics the kernel work optimizes (dense multiply variants in
+// both precision tiers and streamed PartialFit), captured per PR so
+// regressions are diffable. Entries with an `_f32` / `_mixed` suffix run
+// the float32 screening tier; their GFLOPS against the f64 entries of the
+// same shape measure the mixed-precision speedup.
 type benchSnapshot struct {
 	GOOS         string                 `json:"goos"`
 	GOARCH       string                 `json:"goarch"`
@@ -104,6 +107,28 @@ func writeBenchJSON(path string, workers int) error {
 		}
 	}), mulFlops)
 
+	// Screening-tier kernels on the same shapes: the f32/f64 GFLOPS ratio
+	// at 512×512 is the mixed-precision tier's kernel speedup (the 8-wide
+	// 4×8 micro-kernel vs the 4-wide 4×4 one).
+	a32 := mat.NewDense32(n, n)
+	b32 := mat.NewDense32(n, n)
+	for i := range a32.Data {
+		a32.Data[i] = float32(a.Data[i])
+		b32.Data[i] = float32(b.Data[i])
+	}
+	snap.Benchmarks["mul_f32_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			_ = mat.MulWith(eng, nil, a32, b32)
+		}
+	}), mulFlops)
+	snap.Benchmarks["mult_f32_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			_ = mat.MulTWith(eng, nil, a32, b32)
+		}
+	}), mulFlops)
+
 	// Fixed streaming episode per iteration: rebuild the analyzer (off
 	// the clock) and time five 40-column partial fits over T=2000→2200.
 	// Keeping the absorbed range identical every iteration makes the
@@ -119,22 +144,29 @@ func writeBenchJSON(path string, workers int) error {
 	for i := range blocks {
 		blocks[i] = data.ColSlice(2000+40*i, 2000+40*(i+1))
 	}
-	snap.Benchmarks["partial_fit_sclog_t2000_x5"] = metricOf(testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			tb.StopTimer()
-			inc := core.NewIncremental(opts)
-			if err := inc.InitialFit(initial); err != nil {
-				tb.Fatal(err)
-			}
-			tb.StartTimer()
-			for _, blk := range blocks {
-				if _, err := inc.PartialFit(blk); err != nil {
+	partialFit := func(opts core.Options) benchMetric {
+		return metricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				tb.StopTimer()
+				inc := core.NewIncremental(opts)
+				if err := inc.InitialFit(initial); err != nil {
 					tb.Fatal(err)
 				}
+				tb.StartTimer()
+				for _, blk := range blocks {
+					if _, err := inc.PartialFit(blk); err != nil {
+						tb.Fatal(err)
+					}
+				}
 			}
-		}
-	}))
+		}))
+	}
+	snap.Benchmarks["partial_fit_sclog_t2000_x5"] = partialFit(opts)
+	// Same episode with the f32 screening tier on the subtree windows.
+	mixedOpts := opts
+	mixedOpts.Precision = core.PrecisionMixed
+	snap.Benchmarks["partial_fit_mixed_sclog_t2000_x5"] = partialFit(mixedOpts)
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

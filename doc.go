@@ -13,13 +13,20 @@
 //
 // # Quick start
 //
-//	a := imrdmd.New(imrdmd.Options{DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true})
-//	if err := a.InitialFit(series); err != nil { ... }     // first window
+//	a, err := imrdmd.New(imrdmd.Options{DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true})
+//	if err != nil { ... }                                   // invalid options are rejected
+//	if err := a.InitialFit(series); err != nil { ... }      // first window
 //	stats, err := a.PartialFit(more)                        // streamed updates
 //	recon := a.Reconstruction()                             // denoised data
 //	spec  := a.Spectrum()                                   // (freq, power, amp) points
 //	base  := imrdmd.BaselineByMeanRange(series, 46, 57)     // baseline sensors
 //	z, _  := a.ZScores(base, 0, math.Inf(1))                // per-sensor z-scores
+//
+// Options.Precision selects the arithmetic tier: the default "float64"
+// keeps every stage in double precision; "mixed" screens each analysis
+// window with the float32 kernel tier and recomputes only the modes the
+// SVHT decision keeps in float64 — roughly twice the kernel throughput
+// for the same kept-mode set (see DESIGN.md §6).
 //
 // See the examples directory for complete monitoring scenarios and
 // cmd/paperbench for the harness that regenerates every table and figure

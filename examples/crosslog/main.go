@@ -73,9 +73,12 @@ func main() {
 	for w := 0; w < 2; w++ {
 		lo, hi := w**stepsPerWindow, (w+1)**stepsPerWindow
 		win := series.Slice(lo, hi)
-		a := imrdmd.New(imrdmd.Options{
+		a, err := imrdmd.New(imrdmd.Options{
 			DT: prof.SampleInterval, MaxLevels: 7, MaxCycles: 2, UseSVHT: true, Parallel: true, Workers: 4,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Stream in 1,000-step increments as the case study does.
 		first := *stepsPerWindow * 7 / 8
 		if err := a.InitialFit(win.Slice(0, first)); err != nil {

@@ -59,7 +59,10 @@ func main() {
 	}
 
 	// Streamed I-mrDMD.
-	a := imrdmd.New(opts)
+	a, err := imrdmd.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	half := *steps / 2
 	t0 := time.Now()
 	if err := a.InitialFit(series.Slice(0, half)); err != nil {
@@ -85,7 +88,10 @@ func main() {
 
 	// Full refit comparator ("without our incremental algorithm" in §IV:
 	// when a batch of new points lands, recompute mrDMD over everything).
-	b := imrdmd.New(opts)
+	b, err := imrdmd.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 = time.Now()
 	if err := b.InitialFit(series); err != nil {
 		log.Fatal(err)

@@ -36,7 +36,10 @@ func main() {
 	}
 
 	// Fit the first 512 steps, then stream the remaining 256 in.
-	a := imrdmd.New(imrdmd.Options{DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true})
+	a, err := imrdmd.New(imrdmd.Options{DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := a.InitialFit(s.Slice(0, 512)); err != nil {
 		log.Fatal(err)
 	}

@@ -65,9 +65,12 @@ func main() {
 	// the same 1,000 + 1,000 shape as the case study.
 	data := gen.Matrix(0, *steps)
 	series := imrdmd.FromDense(*nodes, *steps, data.Data)
-	a := imrdmd.New(imrdmd.Options{
+	a, err := imrdmd.New(imrdmd.Options{
 		DT: prof.SampleInterval, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: true, Workers: 4,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
 	if err := a.InitialFit(series.Slice(0, *steps/2)); err != nil {
 		log.Fatal(err)

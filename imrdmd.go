@@ -1,13 +1,27 @@
 package imrdmd
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"imrdmd/internal/baseline"
 	"imrdmd/internal/core"
 	"imrdmd/internal/rack"
 	"imrdmd/internal/viz"
+)
+
+// Precision values for Options.Precision.
+const (
+	// PrecisionFloat64 runs every numeric stage in float64 — the default,
+	// bit-stable tier.
+	PrecisionFloat64 = core.PrecisionFloat64
+	// PrecisionMixed screens each subtree window in float32 and recomputes
+	// only the SVHT-kept directions in float64: the paper's multifidelity
+	// principle applied to arithmetic precision. Kept-mode sets match
+	// float64 within SVHT tolerance; results are not bit-identical.
+	PrecisionMixed = core.PrecisionMixed
 )
 
 // Options configures an Analyzer. The zero value gets sensible defaults
@@ -53,6 +67,17 @@ type Options struct {
 	// yields the same subspace up to rank truncation — reconstruction
 	// error is test-pinned to match within 1e-8. See DESIGN.md §5.
 	BlockColumns int
+	// Precision selects the arithmetic tier: "" or PrecisionFloat64
+	// (default) keeps every numeric stage in float64, bit-stable with
+	// prior releases. PrecisionMixed screens each window's SVD in the
+	// float32 tier (half the memory traffic, twice the SIMD width) and
+	// recomputes only the directions the SVHT decision keeps in float64;
+	// the streaming level-1 SVD always stays float64. Kept-mode sets are
+	// test-pinned to match float64 on the paper workloads; the decisions
+	// can diverge only when the decision-relevant spectrum sits below
+	// float32 visibility (~1e-6 of the window's largest singular value).
+	// See DESIGN.md §6 for when mixed mode is safe.
+	Precision string
 
 	// DriftThreshold, when positive, recomputes previously fitted levels
 	// when the level-1 slow-mode drift exceeds it (Algorithm 1's
@@ -74,7 +99,20 @@ func (o Options) toCore() core.Options {
 		Parallel:      o.Parallel,
 		Workers:       o.Workers,
 		BlockColumns:  o.BlockColumns,
+		Precision:     o.Precision,
 	}
+}
+
+// Validate rejects option values that would otherwise be accepted
+// silently and misbehave later (negative Workers or BlockColumns,
+// unknown Precision). The zero value of every field is valid; defaults
+// are filled at fit time. The rules live in core.Options.Validate —
+// this wrapper only re-homes the error prefix.
+func (o Options) Validate() error {
+	if err := o.toCore().Validate(); err != nil {
+		return fmt.Errorf("imrdmd: %s", strings.TrimPrefix(err.Error(), "core: "))
+	}
+	return nil
 }
 
 // UpdateStats reports one PartialFit (see core.UpdateStats).
@@ -106,12 +144,17 @@ type Analyzer struct {
 	inc  *core.Incremental
 }
 
-// New creates an Analyzer.
-func New(opts Options) *Analyzer {
+// New creates an Analyzer. It returns a descriptive error when opts holds
+// an invalid knob (negative Workers or BlockColumns, unknown Precision)
+// instead of silently accepting it.
+func New(opts Options) (*Analyzer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	inc := core.NewIncremental(opts.toCore())
 	inc.DriftThreshold = opts.DriftThreshold
 	inc.AsyncRecompute = opts.AsyncRecompute
-	return &Analyzer{opts: opts, inc: inc}
+	return &Analyzer{opts: opts, inc: inc}, nil
 }
 
 // InitialFit runs the batch mrDMD over the first window and prepares the

@@ -79,7 +79,7 @@ func TestSeriesCSVRoundTrip(t *testing.T) {
 func TestAnalyzerEndToEnd(t *testing.T) {
 	hot := []int{3, 17}
 	s := syntheticTemps(2, 24, 768, hot)
-	a := New(Options{DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true})
+	a := mustNew(t, Options{DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true})
 	if err := a.InitialFit(s.Slice(0, 512)); err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestAnalyzerEndToEnd(t *testing.T) {
 
 func TestAnalyzerDriftRecompute(t *testing.T) {
 	s := syntheticTemps(3, 8, 512, nil)
-	a := New(Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true,
+	a := mustNew(t, Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true,
 		DriftThreshold: 1e-9, AsyncRecompute: true})
 	if err := a.InitialFit(s.Slice(0, 256)); err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestAnalyzerDriftRecompute(t *testing.T) {
 
 func TestRackViewFromAnalyzer(t *testing.T) {
 	s := syntheticTemps(4, 64, 256, []int{5})
-	a := New(Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
+	a := mustNew(t, Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
 	if err := a.InitialFit(s); err != nil {
 		t.Fatal(err)
 	}

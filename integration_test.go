@@ -151,7 +151,7 @@ func TestMonitorOverTelemetryStream(t *testing.T) {
 // sensor addition, compression accounting, stabilized reconstruction.
 func TestAnalyzerExtensions(t *testing.T) {
 	s := syntheticTemps(9, 20, 512, nil)
-	a := New(Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
+	a := mustNew(t, Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true})
 	if err := a.InitialFit(s.Slice(0, 512)); err != nil {
 		t.Fatal(err)
 	}

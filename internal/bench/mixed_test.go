@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"imrdmd/internal/core"
+)
+
+// TestMixedPrecisionMatchesFloat64OnPaperWorkloads is the acceptance gate
+// for the mixed-precision tier on the paperbench scenarios: Precision
+// "mixed" must keep the same mode set as float64 (same per-node counts —
+// the SVHT decisions agree) and reconstruct the data essentially as well,
+// on both the SC Log and GPU Metrics workloads.
+func TestMixedPrecisionMatchesFloat64OnPaperWorkloads(t *testing.T) {
+	scenarios := []struct {
+		name string
+		p, T int
+		dt   float64
+	}{
+		{"sclog", 48, 600, 20},
+		{"gpu", 48, 600, 1},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var data = SCLogData(sc.p, sc.T, 3)
+			if sc.name == "gpu" {
+				data = GPUData(sc.p, sc.T, 3)
+			}
+			opts := core.Options{DT: sc.dt, MaxLevels: 4, MaxCycles: 2, UseSVHT: true}
+			want, err := core.Decompose(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Precision = core.PrecisionMixed
+			got, err := core.Decompose(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Nodes) != len(want.Nodes) {
+				t.Fatalf("node count %d vs %d", len(got.Nodes), len(want.Nodes))
+			}
+			for i, wn := range want.Nodes {
+				gn := got.Nodes[i]
+				if len(gn.Modes) != len(wn.Modes) {
+					t.Fatalf("node %d (L%d [%d,%d)): mixed kept %d modes, f64 kept %d",
+						i, wn.Level, wn.Start, wn.End, len(gn.Modes), len(wn.Modes))
+				}
+			}
+			wantErr := want.ReconError(data)
+			gotErr := got.ReconError(data)
+			if gotErr > wantErr*1.01 {
+				t.Fatalf("mixed reconstruction error %.6g vs f64 %.6g", gotErr, wantErr)
+			}
+		})
+	}
+}

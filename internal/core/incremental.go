@@ -107,6 +107,9 @@ func (inc *Incremental) InitialFit(data *mat.Dense) error {
 	if inc.raw != nil {
 		return errors.New("core: InitialFit called twice; create a new Incremental")
 	}
+	if err := inc.opts.Validate(); err != nil {
+		return err
+	}
 	p, t := data.Dims()
 	if t < 2 {
 		return dmd.ErrTooFewSnapshots

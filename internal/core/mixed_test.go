@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+// TestDecomposeMixedMatchesFloat64 pins the tentpole contract at the tree
+// level: Precision "mixed" must produce the same kept-mode set as the
+// float64 tier — same windows, same per-window mode counts, matching
+// frequencies — on multiscale data with a clear SVHT separation, and a
+// reconstruction error within a whisker of the f64 one.
+func TestDecomposeMixedMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data, _ := multiscale(rng, 16, 512, 1, 0.1)
+	opts := Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true}
+
+	want, err := Decompose(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Precision = PrecisionMixed
+	got, err := Decompose(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("node count %d vs %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i, wn := range want.Nodes {
+		gn := got.Nodes[i]
+		if gn.Level != wn.Level || gn.Start != wn.Start || gn.End != wn.End {
+			t.Fatalf("node %d window differs: L%d [%d,%d) vs L%d [%d,%d)",
+				i, gn.Level, gn.Start, gn.End, wn.Level, wn.Start, wn.End)
+		}
+		if len(gn.Modes) != len(wn.Modes) {
+			t.Fatalf("node %d (L%d [%d,%d)): kept %d modes, f64 kept %d",
+				i, wn.Level, wn.Start, wn.End, len(gn.Modes), len(wn.Modes))
+		}
+		wf := modeFreqs(wn)
+		gf := modeFreqs(gn)
+		for j := range wf {
+			if d := math.Abs(wf[j] - gf[j]); d > 1e-4*(1+wf[j]) {
+				t.Fatalf("node %d mode %d frequency %v vs %v", i, j, gf[j], wf[j])
+			}
+		}
+	}
+
+	wantErr := want.ReconError(data)
+	gotErr := got.ReconError(data)
+	if gotErr > wantErr*1.01 {
+		t.Fatalf("mixed reconstruction error %.6g vs f64 %.6g", gotErr, wantErr)
+	}
+}
+
+func modeFreqs(n *Node) []float64 {
+	f := make([]float64, len(n.Modes))
+	for i, m := range n.Modes {
+		f[i] = m.Freq
+	}
+	sort.Float64s(f)
+	return f
+}
+
+// TestIncrementalMixedMatchesFloat64 runs the streaming pipeline in both
+// tiers: the level-1 incremental SVD stays float64 in both (so drift
+// measurements are comparable), while subtree windows screen in f32 under
+// mixed. Mode counts and reconstruction error must agree as in the batch
+// case.
+func TestIncrementalMixedMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data, _ := multiscale(rng, 12, 600, 1, 0.1)
+	run := func(precision string) (*Tree, float64) {
+		inc := NewIncremental(Options{DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true, Precision: precision})
+		if err := inc.InitialFit(data.ColSlice(0, 400)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inc.PartialFit(data.ColSlice(400, 600)); err != nil {
+			t.Fatal(err)
+		}
+		return inc.Tree(), inc.ReconError()
+	}
+	want, wantErr := run(PrecisionFloat64)
+	got, gotErr := run(PrecisionMixed)
+	if got.NumModes() != want.NumModes() {
+		t.Fatalf("mixed kept %d modes, f64 kept %d", got.NumModes(), want.NumModes())
+	}
+	if gotErr > wantErr*1.01 {
+		t.Fatalf("mixed reconstruction error %.6g vs f64 %.6g", gotErr, wantErr)
+	}
+}
+
+// TestOptionsValidate covers the core-level knob validation shared by
+// Decompose and Incremental.InitialFit.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"zero value", Options{}, true},
+		{"explicit float64", Options{Precision: PrecisionFloat64}, true},
+		{"mixed", Options{Precision: PrecisionMixed}, true},
+		{"negative workers", Options{Workers: -1}, false},
+		{"negative block columns", Options{BlockColumns: -8}, false},
+		{"unknown precision", Options{Precision: "float16"}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opts.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("invalid options accepted")
+			}
+		})
+	}
+	// The entry points must surface the same errors.
+	data := mat64(4, 32)
+	if _, err := Decompose(data, Options{Precision: "bf16"}); err == nil {
+		t.Fatal("Decompose accepted unknown precision")
+	}
+	inc := NewIncremental(Options{Workers: -2})
+	if err := inc.InitialFit(data); err == nil {
+		t.Fatal("InitialFit accepted negative workers")
+	}
+}
+
+// mat64 builds a small deterministic matrix for the validation entry-point
+// checks.
+func mat64(p, t int) *mat.Dense {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := multiscale(rng, p, t, 1, 0.05)
+	return d
+}

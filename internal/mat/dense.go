@@ -4,29 +4,54 @@
 //
 // Matrices are row-major. The package is self-contained (stdlib only) and
 // its hot kernels (matrix multiply) are blocked and goroutine-parallel.
+//
+// The dense type and every real kernel are generic over the element type
+// (float32 | float64): Dense is the float64 instantiation used by the
+// high-fidelity pipeline, Dense32 the float32 instantiation that backs the
+// mixed-precision screening tier (see DESIGN.md §6). The float64 paths are
+// unchanged instantiations of the same generic code, so enabling the f32
+// tier cannot perturb f64 results.
 package mat
 
 import (
 	"fmt"
 	"math"
+
+	"imrdmd/internal/compute"
 )
 
-// Dense is a row-major dense matrix of float64.
+// Element constrains the matrix element type to the float tiers the
+// compute layer pools (float32 | float64).
+type Element = compute.Float
+
+// GDense is a row-major dense matrix over element type T.
 //
-// The zero value is an empty matrix. Use NewDense or NewDenseData to
+// The zero value is an empty matrix. Use NewDense / NewDense32 / NewOf to
 // construct one with a shape.
-type Dense struct {
+type GDense[T Element] struct {
 	R, C int
-	Data []float64 // len == R*C, row-major: element (i,j) at Data[i*C+j]
+	Data []T // len == R*C, row-major: element (i,j) at Data[i*C+j]
 }
 
-// NewDense returns a zeroed r×c matrix.
-func NewDense(r, c int) *Dense {
+// Dense is the float64 dense matrix — the default, high-fidelity tier.
+type Dense = GDense[float64]
+
+// Dense32 is the float32 dense matrix — the screening (low-fidelity) tier.
+type Dense32 = GDense[float32]
+
+// NewOf returns a zeroed r×c matrix with element type T.
+func NewOf[T Element](r, c int) *GDense[T] {
 	if r < 0 || c < 0 {
 		panic(fmt.Sprintf("mat: negative dimension %d×%d", r, c))
 	}
-	return &Dense{R: r, C: c, Data: make([]float64, r*c)}
+	return &GDense[T]{R: r, C: c, Data: make([]T, r*c)}
 }
+
+// NewDense returns a zeroed r×c float64 matrix.
+func NewDense(r, c int) *Dense { return NewOf[float64](r, c) }
+
+// NewDense32 returns a zeroed r×c float32 matrix.
+func NewDense32(r, c int) *Dense32 { return NewOf[float32](r, c) }
 
 // NewDenseData wraps an existing row-major slice as an r×c matrix.
 // The slice is used directly, not copied.
@@ -38,17 +63,17 @@ func NewDenseData(r, c int, data []float64) *Dense {
 }
 
 // At returns element (i, j).
-func (m *Dense) At(i, j int) float64 { return m.Data[i*m.C+j] }
+func (m *GDense[T]) At(i, j int) T { return m.Data[i*m.C+j] }
 
 // Set assigns element (i, j).
-func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+func (m *GDense[T]) Set(i, j int, v T) { m.Data[i*m.C+j] = v }
 
 // Row returns row i as a slice aliasing the matrix storage.
-func (m *Dense) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+func (m *GDense[T]) Row(i int) []T { return m.Data[i*m.C : (i+1)*m.C] }
 
 // Col returns a copy of column j.
-func (m *Dense) Col(j int) []float64 {
-	out := make([]float64, m.R)
+func (m *GDense[T]) Col(j int) []T {
+	out := make([]T, m.R)
 	for i := 0; i < m.R; i++ {
 		out[i] = m.Data[i*m.C+j]
 	}
@@ -56,7 +81,7 @@ func (m *Dense) Col(j int) []float64 {
 }
 
 // SetCol assigns column j from v.
-func (m *Dense) SetCol(j int, v []float64) {
+func (m *GDense[T]) SetCol(j int, v []T) {
 	if len(v) != m.R {
 		panic("mat: SetCol length mismatch")
 	}
@@ -66,18 +91,18 @@ func (m *Dense) SetCol(j int, v []float64) {
 }
 
 // Clone returns a deep copy.
-func (m *Dense) Clone() *Dense {
-	d := make([]float64, len(m.Data))
+func (m *GDense[T]) Clone() *GDense[T] {
+	d := make([]T, len(m.Data))
 	copy(d, m.Data)
-	return &Dense{R: m.R, C: m.C, Data: d}
+	return &GDense[T]{R: m.R, C: m.C, Data: d}
 }
 
 // Dims returns (rows, cols).
-func (m *Dense) Dims() (int, int) { return m.R, m.C }
+func (m *GDense[T]) Dims() (int, int) { return m.R, m.C }
 
 // T returns the transpose as a new matrix.
-func (m *Dense) T() *Dense {
-	t := NewDense(m.C, m.R)
+func (m *GDense[T]) T() *GDense[T] {
+	t := NewOf[T](m.C, m.R)
 	// Blocked transpose for cache friendliness.
 	const bs = 64
 	for ii := 0; ii < m.R; ii += bs {
@@ -96,11 +121,11 @@ func (m *Dense) T() *Dense {
 }
 
 // ColSlice returns a copy of columns [j0, j1).
-func (m *Dense) ColSlice(j0, j1 int) *Dense {
+func (m *GDense[T]) ColSlice(j0, j1 int) *GDense[T] {
 	if j0 < 0 || j1 > m.C || j0 > j1 {
 		panic(fmt.Sprintf("mat: ColSlice [%d,%d) out of range for %d cols", j0, j1, m.C))
 	}
-	out := NewDense(m.R, j1-j0)
+	out := NewOf[T](m.R, j1-j0)
 	for i := 0; i < m.R; i++ {
 		copy(out.Row(i), m.Data[i*m.C+j0:i*m.C+j1])
 	}
@@ -108,22 +133,22 @@ func (m *Dense) ColSlice(j0, j1 int) *Dense {
 }
 
 // RowSlice returns a copy of rows [i0, i1).
-func (m *Dense) RowSlice(i0, i1 int) *Dense {
+func (m *GDense[T]) RowSlice(i0, i1 int) *GDense[T] {
 	if i0 < 0 || i1 > m.R || i0 > i1 {
 		panic(fmt.Sprintf("mat: RowSlice [%d,%d) out of range for %d rows", i0, i1, m.R))
 	}
-	out := NewDense(i1-i0, m.C)
+	out := NewOf[T](i1-i0, m.C)
 	copy(out.Data, m.Data[i0*m.C:i1*m.C])
 	return out
 }
 
 // Subsample returns a copy with every stride-th column starting at column 0.
-func (m *Dense) Subsample(stride int) *Dense {
+func (m *GDense[T]) Subsample(stride int) *GDense[T] {
 	if stride <= 1 {
 		return m.Clone()
 	}
 	n := (m.C + stride - 1) / stride
-	out := NewDense(m.R, n)
+	out := NewOf[T](m.R, n)
 	for i := 0; i < m.R; i++ {
 		src := m.Row(i)
 		dst := out.Row(i)
@@ -135,11 +160,11 @@ func (m *Dense) Subsample(stride int) *Dense {
 }
 
 // HStack returns [A B] (columns of b appended to a). Row counts must match.
-func HStack(a, b *Dense) *Dense {
+func HStack[T Element](a, b *GDense[T]) *GDense[T] {
 	if a.R != b.R {
 		panic("mat: HStack row mismatch")
 	}
-	out := NewDense(a.R, a.C+b.C)
+	out := NewOf[T](a.R, a.C+b.C)
 	for i := 0; i < a.R; i++ {
 		copy(out.Row(i)[:a.C], a.Row(i))
 		copy(out.Row(i)[a.C:], b.Row(i))
@@ -148,17 +173,17 @@ func HStack(a, b *Dense) *Dense {
 }
 
 // VStack returns [A; B] (rows of b appended to a). Column counts must match.
-func VStack(a, b *Dense) *Dense {
+func VStack[T Element](a, b *GDense[T]) *GDense[T] {
 	if a.C != b.C {
 		panic("mat: VStack col mismatch")
 	}
-	out := NewDense(a.R+b.R, a.C)
+	out := NewOf[T](a.R+b.R, a.C)
 	copy(out.Data[:len(a.Data)], a.Data)
 	copy(out.Data[len(a.Data):], b.Data)
 	return out
 }
 
-// Eye returns the n×n identity.
+// Eye returns the n×n float64 identity.
 func Eye(n int) *Dense {
 	m := NewDense(n, n)
 	for i := 0; i < n; i++ {
@@ -168,9 +193,9 @@ func Eye(n int) *Dense {
 }
 
 // DiagOf returns a square matrix with v on the diagonal.
-func DiagOf(v []float64) *Dense {
+func DiagOf[T Element](v []T) *GDense[T] {
 	n := len(v)
-	m := NewDense(n, n)
+	m := NewOf[T](n, n)
 	for i, x := range v {
 		m.Data[i*n+i] = x
 	}
@@ -178,9 +203,9 @@ func DiagOf(v []float64) *Dense {
 }
 
 // Add returns a + b element-wise.
-func Add(a, b *Dense) *Dense {
+func Add[T Element](a, b *GDense[T]) *GDense[T] {
 	checkSameShape("Add", a, b)
-	out := NewDense(a.R, a.C)
+	out := NewOf[T](a.R, a.C)
 	for i := range a.Data {
 		out.Data[i] = a.Data[i] + b.Data[i]
 	}
@@ -188,9 +213,9 @@ func Add(a, b *Dense) *Dense {
 }
 
 // Sub returns a - b element-wise.
-func Sub(a, b *Dense) *Dense {
+func Sub[T Element](a, b *GDense[T]) *GDense[T] {
 	checkSameShape("Sub", a, b)
-	out := NewDense(a.R, a.C)
+	out := NewOf[T](a.R, a.C)
 	for i := range a.Data {
 		out.Data[i] = a.Data[i] - b.Data[i]
 	}
@@ -198,7 +223,7 @@ func Sub(a, b *Dense) *Dense {
 }
 
 // SubInPlace subtracts b from a in place.
-func SubInPlace(a, b *Dense) {
+func SubInPlace[T Element](a, b *GDense[T]) {
 	checkSameShape("SubInPlace", a, b)
 	for i := range a.Data {
 		a.Data[i] -= b.Data[i]
@@ -206,28 +231,30 @@ func SubInPlace(a, b *Dense) {
 }
 
 // Scale returns s*a.
-func Scale(s float64, a *Dense) *Dense {
-	out := NewDense(a.R, a.C)
+func Scale[T Element](s T, a *GDense[T]) *GDense[T] {
+	out := NewOf[T](a.R, a.C)
 	for i := range a.Data {
 		out.Data[i] = s * a.Data[i]
 	}
 	return out
 }
 
-// FrobNorm returns the Frobenius norm of m.
-func (m *Dense) FrobNorm() float64 {
+// FrobNorm returns the Frobenius norm of m, accumulated in float64
+// regardless of the element type.
+func (m *GDense[T]) FrobNorm() float64 {
 	var s float64
 	for _, v := range m.Data {
-		s += v * v
+		f := float64(v)
+		s += f * f
 	}
 	return math.Sqrt(s)
 }
 
 // MaxAbs returns the largest absolute entry of m (0 for an empty matrix).
-func (m *Dense) MaxAbs() float64 {
+func (m *GDense[T]) MaxAbs() float64 {
 	var s float64
 	for _, v := range m.Data {
-		if a := math.Abs(v); a > s {
+		if a := math.Abs(float64(v)); a > s {
 			s = a
 		}
 	}
@@ -235,16 +262,17 @@ func (m *Dense) MaxAbs() float64 {
 }
 
 // HasNaN reports whether any entry is NaN or ±Inf.
-func (m *Dense) HasNaN() bool {
+func (m *GDense[T]) HasNaN() bool {
 	for _, v := range m.Data {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return true
 		}
 	}
 	return false
 }
 
-func checkSameShape(op string, a, b *Dense) {
+func checkSameShape[T Element](op string, a, b *GDense[T]) {
 	if a.R != b.R || a.C != b.C {
 		panic(fmt.Sprintf("mat: %s shape mismatch %d×%d vs %d×%d", op, a.R, a.C, b.R, b.C))
 	}

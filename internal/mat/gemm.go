@@ -1,32 +1,40 @@
 package mat
 
-import "imrdmd/internal/compute"
+import (
+	"unsafe"
+
+	"imrdmd/internal/compute"
+)
 
 // This file is the packed, register-blocked GEMM that backs every dense
 // multiply in the package (Mul/MulInto/MulT/Gram and QR's trailing-matrix
-// update). The layout follows the classic Goto/BLIS decomposition:
+// update), generic over the element type. The layout follows the classic
+// Goto/BLIS decomposition:
 //
 //	for jc over N by ncBlock:            (B panel column block)
 //	  for pc over K by kcBlock:          (depth block)
-//	    pack B[pc:pc+kc, jc:jc+nc]  →  bp  (strips of nrTile columns)
+//	    pack B[pc:pc+kc, jc:jc+nc]  →  bp  (strips of nr columns)
 //	    for ic over M by mcBlock:        (A panel row block, parallel unit)
 //	      pack A[ic:ic+mc, pc:pc+kc] → ap  (strips of mrTile rows)
-//	      macro-kernel: mrTile×nrTile register tiles over (ap, bp)
+//	      macro-kernel: mrTile×nr register tiles over (ap, bp)
 //
 // Packing copies both operands into contiguous, tile-ordered buffers so the
 // micro-kernel streams unit-stride with no bounds-check or stride math in
 // the inner loop, and so transposed operands (MulT, Gram's m·mᵀ) cost the
 // same as plain ones — the transpose is absorbed by the packing read. Pack
-// buffers are borrowed from a package-level compute.Workspace, so steady
-// state packs are allocation-free.
+// buffers are borrowed from a package-level compute.Workspace (which pools
+// float32 and float64 size classes separately), so steady state packs are
+// allocation-free in both tiers.
 //
-// The micro-kernel itself is gemmKernel4x4: a hand-unrolled 4×4 register
-// tile, dst[0:4, 0:4] (mode: overwrite / += / −=) of ap-strip · bp-strip.
-// On amd64 with AVX2+FMA it is four YMM accumulator rows driven by
-// broadcast/FMA (see gemm_amd64.s); elsewhere a pure-Go unrolled version
-// (gemm_generic.go) with sixteen scalar accumulators. Edge tiles (mr<4 or
-// nr<4) run the same kernel into a zero-padded 4×4 scratch tile and merge
-// the valid region, so the hot path has no remainder branches.
+// The micro-kernel is per-type: the tile is always mrTile rows tall, and
+// its width is one 256-bit vector of elements — 4 for float64, 8 for
+// float32 (nrOf). float64 keeps the existing hand-unrolled 4×4 kernel
+// (AVX2+FMA asm on amd64, portable Go elsewhere) bit-for-bit unchanged;
+// float32 dispatches to a 4×8 kernel (gemm32_amd64.s / gemm32_generic.go)
+// whose doubled vector width is where the screening tier's ~2× throughput
+// comes from. Edge tiles (mr<4 or nr<tile width) run the same kernel into
+// a zero-padded scratch tile and merge the valid region, so the hot path
+// has no remainder branches.
 //
 // Parallelism: the engine fans out over mcBlock row panels (each worker
 // packs its own A panels; the B panel is packed once by the caller and
@@ -35,14 +43,15 @@ import "imrdmd/internal/compute"
 // accumulation order as the serial loop, so engine and serial runs agree
 // bit for bit (mul_parallel_test.go and gemm_test.go pin this).
 const (
-	mrTile = 4 // micro-kernel rows (register tile height)
-	nrTile = 4 // micro-kernel cols (register tile width)
+	mrTile = 4 // micro-kernel rows (register tile height, both tiers)
+	nrMax  = 8 // widest micro-kernel tile (float32)
 
-	// kcBlock × nrTile is one packed B strip (8 KiB): resident in L1
-	// across a whole row of tiles. mcBlock × kcBlock is one packed A
-	// panel (256 KiB): resident in L2 across the nc loop. ncBlock bounds
-	// the shared B panel (≤ 1 MiB) so it stays cache-friendly while
-	// amortizing A packing over as many columns as possible.
+	// kcBlock × nr is one packed B strip (8 KiB for f64, 8 KiB for f32 at
+	// double width): resident in L1 across a whole row of tiles. mcBlock ×
+	// kcBlock is one packed A panel (≤ 256 KiB): resident in L2 across the
+	// nc loop. ncBlock bounds the shared B panel (≤ 1 MiB) so it stays
+	// cache-friendly while amortizing A packing over as many columns as
+	// possible.
 	kcBlock = 256
 	mcBlock = 128
 	ncBlock = 512
@@ -62,28 +71,61 @@ const (
 
 // packPool supplies pack buffers for all GEMM calls in the process. It is
 // deliberately package-level (not the caller's workspace): pack buffers
-// never escape a call, every caller needs the same two size classes, and a
-// shared pool keeps even ws==nil entry points allocation-free in steady
-// state.
+// never escape a call, every caller needs the same two size classes per
+// tier, and a shared pool keeps even ws==nil entry points allocation-free
+// in steady state.
 var packPool = compute.NewWorkspace()
+
+// nrOf is the micro-kernel tile width for element type T: one 256-bit
+// vector of elements (4 float64, 8 float32). The sizeof comparison is a
+// per-instantiation constant, so the expression folds at compile time.
+func nrOf[T Element]() int {
+	var z T
+	return 32 / int(unsafe.Sizeof(z))
+}
+
+// sliceOf reinterprets a float slice as its concrete element type (E and T
+// are the same size whenever this is called, so the cast is layout-exact).
+// It lets the generic macro-kernel hand packed strips to the non-generic,
+// per-type micro-kernels without a copy.
+func sliceOf[E, T Element](s []T) []E {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*E)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// gemmKernel dispatches one register tile to the per-type micro-kernel:
+// float64 → 4×4 (AVX2+FMA asm or portable Go), float32 → 4×8. The type
+// branch folds per instantiation; the call itself is direct.
+func gemmKernel[T Element](c []T, ldc int, ap, bp []T, kc, mode int) {
+	var z T
+	if unsafe.Sizeof(z) == 8 {
+		gemmKernel4x4(sliceOf[float64](c), ldc, sliceOf[float64](ap), sliceOf[float64](bp), kc, mode)
+		return
+	}
+	gemmKernel4x8(sliceOf[float32](c), ldc, sliceOf[float32](ap), sliceOf[float32](bp), kc, mode)
+}
 
 // view is a strided window into row-major storage: element (i, j) lives at
 // data[i*stride + j]. It lets the GEMM operate on submatrices (QR's
 // trailing columns) without copying them out first.
-type view struct {
-	data   []float64
+type view[T Element] struct {
+	data   []T
 	r, c   int
 	stride int
 }
 
-func denseView(m *Dense) view { return view{data: m.Data, r: m.R, c: m.C, stride: m.C} }
+func denseView[T Element](m *GDense[T]) view[T] {
+	return view[T]{data: m.Data, r: m.R, c: m.C, stride: m.C}
+}
 
 // rowsView is rows [i0, i1) of m as a view.
-func rowsView(m *Dense, i0, i1 int) view {
+func rowsView[T Element](m *GDense[T], i0, i1 int) view[T] {
 	if i0 == i1 {
-		return view{r: 0, c: m.C, stride: m.C}
+		return view[T]{r: 0, c: m.C, stride: m.C}
 	}
-	return view{data: m.Data[i0*m.C:], r: i1 - i0, c: m.C, stride: m.C}
+	return view[T]{data: m.Data[i0*m.C:], r: i1 - i0, c: m.C, stride: m.C}
 }
 
 // gemmView computes dst = A·B (mode gemmSet), dst += A·B (gemmAdd) or
@@ -91,7 +133,7 @@ func rowsView(m *Dense, i0, i1 int) view {
 // when bT). dst must be sized M×N with M = rows(A), N = cols(B); the
 // shared inner dimension K is taken from the operands. dst must not
 // overlap a or b. A nil engine (or a small problem) runs serially.
-func gemmView(e *compute.Engine, dst view, a view, aT bool, b view, bT bool, mode int) {
+func gemmView[T Element](e *compute.Engine, dst view[T], a view[T], aT bool, b view[T], bT bool, mode int) {
 	m, n := dst.r, dst.c
 	k := a.c
 	if aT {
@@ -118,6 +160,7 @@ func gemmView(e *compute.Engine, dst view, a view, aT bool, b view, bT bool, mod
 		}
 		return
 	}
+	nr := nrOf[T]()
 
 	// The parallel unit is normally a full MC panel. A matrix shorter than
 	// one panel would lose all fan-out, so its single panel is subdivided
@@ -134,25 +177,25 @@ func gemmView(e *compute.Engine, dst view, a view, aT bool, b view, bT bool, mod
 	panels := (m + unit - 1) / unit
 	parallel := panels > 1 && wantParallel
 
-	bp := packPool.GetF64(((ncBlock + nrTile - 1) / nrTile) * nrTile * kcBlock)
+	bp := compute.GetFloats[T](packPool, ((ncBlock+nr-1)/nr)*nr*kcBlock)
 	for jc := 0; jc < n; jc += ncBlock {
 		nc := min(ncBlock, n-jc)
 		for pc := 0; pc < k; pc += kcBlock {
 			kc := min(kcBlock, k-pc)
-			packB(bp, b, bT, pc, kc, jc, nc)
+			packB(bp, b, bT, pc, kc, jc, nc, nr)
 			md := mode
 			if mode == gemmSet && pc > 0 {
 				md = gemmAdd
 			}
 			run := func(lo, hi int) {
-				ap := packPool.GetF64(unit * kcBlock)
+				ap := compute.GetFloats[T](packPool, unit*kcBlock)
 				for pi := lo; pi < hi; pi++ {
 					ic := pi * unit
 					mc := min(unit, m-ic)
 					packA(ap, a, aT, ic, mc, pc, kc)
-					gemmMacro(dst, ap, bp, ic, mc, jc, nc, kc, md)
+					gemmMacro(dst, ap, bp, ic, mc, jc, nc, kc, nr, md)
 				}
-				packPool.PutF64(ap)
+				compute.PutFloats(packPool, ap)
 			}
 			if parallel {
 				e.ParallelFor(panels, run)
@@ -161,14 +204,14 @@ func gemmView(e *compute.Engine, dst view, a view, aT bool, b view, bT bool, mod
 			}
 		}
 	}
-	packPool.PutF64(bp)
+	compute.PutFloats(packPool, bp)
 }
 
 // packA copies the mc×kc block of A at (ic, pc) into ap as strips of
 // mrTile rows: strip s holds rows [ic+s·mr, ic+s·mr+mr) laid out p-major
 // (ap[s·kc·mr + p·mr + r]), zero-padded to a full strip at the edge. When
 // aT is set the logical A is aᵀ, i.e. element (i, p) reads a.data[p][i].
-func packA(ap []float64, a view, aT bool, ic, mc, pc, kc int) {
+func packA[T Element](ap []T, a view[T], aT bool, ic, mc, pc, kc int) {
 	off := 0
 	for s := 0; s < mc; s += mrTile {
 		mr := min(mrTile, mc-s)
@@ -186,7 +229,7 @@ func packA(ap []float64, a view, aT bool, ic, mc, pc, kc int) {
 			continue
 		}
 		r0 := a.data[(ic+s)*a.stride+pc:]
-		var r1, r2, r3 []float64
+		var r1, r2, r3 []T
 		if mr > 1 {
 			r1 = a.data[(ic+s+1)*a.stride+pc:]
 		}
@@ -225,66 +268,47 @@ func packA(ap []float64, a view, aT bool, ic, mc, pc, kc int) {
 	}
 }
 
-// packB copies the kc×nc block of B at (pc, jc) into bp as strips of
-// nrTile columns: strip s holds columns [jc+s·nr, jc+s·nr+nr) laid out
-// p-major (bp[s·kc·nr + p·nr + t]), zero-padded at the edge. When bT is
-// set the logical B is bᵀ, i.e. element (p, j) reads b.data[j][p].
-func packB(bp []float64, b view, bT bool, pc, kc, jc, nc int) {
+// packB copies the kc×nc block of B at (pc, jc) into bp as strips of nr
+// columns: strip s holds columns [jc+s·nr, jc+s·nr+nr) laid out p-major
+// (bp[s·kc·nr + p·nr + t]), zero-padded at the edge. When bT is set the
+// logical B is bᵀ, i.e. element (p, j) reads b.data[j][p].
+func packB[T Element](bp []T, b view[T], bT bool, pc, kc, jc, nc, nr int) {
 	off := 0
-	for s := 0; s < nc; s += nrTile {
-		nr := min(nrTile, nc-s)
+	for s := 0; s < nc; s += nr {
+		w := min(nr, nc-s)
 		if bT {
-			var c0, c1, c2, c3 []float64
-			c0 = b.data[(jc+s)*b.stride+pc:]
-			if nr > 1 {
-				c1 = b.data[(jc+s+1)*b.stride+pc:]
-			}
-			if nr > 2 {
-				c2 = b.data[(jc+s+2)*b.stride+pc:]
-			}
-			if nr > 3 {
-				c3 = b.data[(jc+s+3)*b.stride+pc:]
+			// Columns of the logical B are rows of b; gather w of them.
+			var cols [nrMax][]T
+			for t := 0; t < w; t++ {
+				cols[t] = b.data[(jc+s+t)*b.stride+pc:]
 			}
 			for p := 0; p < kc; p++ {
-				bp[off] = c0[p]
-				if nr > 1 {
-					bp[off+1] = c1[p]
-				} else {
-					bp[off+1] = 0
+				for t := 0; t < w; t++ {
+					bp[off+t] = cols[t][p]
 				}
-				if nr > 2 {
-					bp[off+2] = c2[p]
-				} else {
-					bp[off+2] = 0
+				for t := w; t < nr; t++ {
+					bp[off+t] = 0
 				}
-				if nr > 3 {
-					bp[off+3] = c3[p]
-				} else {
-					bp[off+3] = 0
-				}
-				off += 4
+				off += nr
 			}
 			continue
 		}
-		if nr == 4 {
+		if w == nr {
 			for p := 0; p < kc; p++ {
-				src := b.data[(pc+p)*b.stride+jc+s:]
-				bp[off] = src[0]
-				bp[off+1] = src[1]
-				bp[off+2] = src[2]
-				bp[off+3] = src[3]
-				off += 4
+				src := b.data[(pc+p)*b.stride+jc+s : (pc+p)*b.stride+jc+s+nr]
+				copy(bp[off:off+nr], src)
+				off += nr
 			}
 		} else {
 			for p := 0; p < kc; p++ {
 				src := b.data[(pc+p)*b.stride+jc+s:]
-				for t := 0; t < nr; t++ {
+				for t := 0; t < w; t++ {
 					bp[off+t] = src[t]
 				}
-				for t := nr; t < nrTile; t++ {
+				for t := w; t < nr; t++ {
 					bp[off+t] = 0
 				}
-				off += 4
+				off += nr
 			}
 		}
 	}
@@ -294,26 +318,26 @@ func packB(bp []float64, b view, bT bool, pc, kc, jc, nc int) {
 // packed B panel: B strips outer (each strip stays L1-resident across the
 // panel's rows), A strips inner. Interior tiles store straight into dst;
 // edge tiles go through a zero-padded scratch tile and merge.
-func gemmMacro(dst view, ap, bp []float64, ic, mc, jc, nc, kc, mode int) {
-	var tile [mrTile * nrTile]float64
-	for js := 0; js < nc; js += nrTile {
-		bstrip := bp[(js/nrTile)*kc*nrTile:]
-		nr := min(nrTile, nc-js)
+func gemmMacro[T Element](dst view[T], ap, bp []T, ic, mc, jc, nc, kc, nr, mode int) {
+	var tile [mrTile * nrMax]T
+	for js := 0; js < nc; js += nr {
+		bstrip := bp[(js/nr)*kc*nr:]
+		w := min(nr, nc-js)
 		for is := 0; is < mc; is += mrTile {
 			astrip := ap[(is/mrTile)*kc*mrTile:]
 			mr := min(mrTile, mc-is)
 			ci := (ic+is)*dst.stride + jc + js
-			if mr == mrTile && nr == nrTile {
-				gemmKernel4x4(dst.data[ci:], dst.stride, astrip, bstrip, kc, mode)
+			if mr == mrTile && w == nr {
+				gemmKernel(dst.data[ci:], dst.stride, astrip, bstrip, kc, mode)
 				continue
 			}
-			for i := range tile {
+			for i := range tile[:mrTile*nr] {
 				tile[i] = 0
 			}
-			gemmKernel4x4(tile[:], nrTile, astrip, bstrip, kc, gemmSet)
+			gemmKernel(tile[:], nr, astrip, bstrip, kc, gemmSet)
 			for r := 0; r < mr; r++ {
-				drow := dst.data[ci+r*dst.stride : ci+r*dst.stride+nr]
-				trow := tile[r*nrTile : r*nrTile+nr]
+				drow := dst.data[ci+r*dst.stride : ci+r*dst.stride+w]
+				trow := tile[r*nr : r*nr+w]
 				switch mode {
 				case gemmAdd:
 					for t := range drow {
@@ -331,9 +355,9 @@ func gemmMacro(dst view, ap, bp []float64, ic, mc, jc, nc, kc, mode int) {
 	}
 }
 
-// gemmKernel4x4Go is the portable micro-kernel: a 4×4 tile of dst
+// gemmKernel4x4Go is the portable float64 micro-kernel: a 4×4 tile of dst
 // (row stride ldc) gets the product of a packed mrTile-row A strip and a
-// packed nrTile-column B strip over kc steps. Sixteen scalar accumulators
+// packed 4-column B strip over kc steps. Sixteen scalar accumulators
 // live in registers across the k loop; the tile is touched once at the
 // end. It is the only kernel on non-amd64 builds and the fallback when
 // the CPU lacks AVX2/FMA; gemm_test.go pins it against the assembly path.
@@ -420,5 +444,48 @@ func gemmKernel4x4Go(c []float64, ldc int, ap, bp []float64, kc, mode int) {
 		r3[1] = c31
 		r3[2] = c32
 		r3[3] = c33
+	}
+}
+
+// gemmKernel4x8Go is the portable float32 micro-kernel: a 4×8 tile of dst
+// (row stride ldc) accumulates the product of a packed 4-row A strip and a
+// packed 8-column B strip over kc steps. The tile is one 256-bit vector of
+// float32 wide — the same register shape as the f64 kernel's 4×4 at twice
+// the element count, which is where the screening tier's throughput comes
+// from on SIMD builds (gemm32_amd64.s); this Go version is the non-amd64 /
+// no-AVX2 fallback and the reference the asm kernel is pinned against.
+func gemmKernel4x8Go(c []float32, ldc int, ap, bp []float32, kc, mode int) {
+	var acc [mrTile][8]float32
+	ia, ib := 0, 0
+	for p := 0; p < kc; p++ {
+		b := bp[ib : ib+8 : ib+8]
+		a := ap[ia : ia+4 : ia+4]
+		for r := 0; r < mrTile; r++ {
+			ar := a[r]
+			cr := &acc[r]
+			for t := 0; t < 8; t++ {
+				cr[t] += ar * b[t]
+			}
+		}
+		ia += 4
+		ib += 8
+	}
+	for r := 0; r < mrTile; r++ {
+		drow := c[r*ldc : r*ldc+8 : r*ldc+8]
+		cr := &acc[r]
+		switch mode {
+		case gemmAdd:
+			for t := 0; t < 8; t++ {
+				drow[t] += cr[t]
+			}
+		case gemmSub:
+			for t := 0; t < 8; t++ {
+				drow[t] -= cr[t]
+			}
+		default:
+			for t := 0; t < 8; t++ {
+				drow[t] = cr[t]
+			}
+		}
 	}
 }

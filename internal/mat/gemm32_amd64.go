@@ -1,0 +1,26 @@
+//go:build amd64
+
+package mat
+
+// On amd64 the float32 4×8 micro-kernel has an AVX2+FMA implementation
+// (gemm32_amd64.s): the four C-tile rows live in four YMM accumulators of
+// eight floats each, and each k step is one 256-bit B load, four A
+// broadcasts and four fused multiply-adds — the same instruction count as
+// the float64 4×4 kernel for twice the elements, which is the screening
+// tier's throughput advantage. Feature detection is shared with the f64
+// kernel (useFMAKernel in gemm_amd64.go); CPUs without AVX2+FMA fall back
+// to the portable gemmKernel4x8Go.
+
+// gemmKernel4x8FMA is the AVX2+FMA float32 micro-kernel. c must expose at
+// least 3·ldc+8 elements, ap at least 4·kc and bp at least 8·kc.
+//
+//go:noescape
+func gemmKernel4x8FMA(c []float32, ldc int, ap, bp []float32, kc, mode int)
+
+func gemmKernel4x8(c []float32, ldc int, ap, bp []float32, kc, mode int) {
+	if useFMAKernel {
+		gemmKernel4x8FMA(c, ldc, ap, bp, kc, mode)
+		return
+	}
+	gemmKernel4x8Go(c, ldc, ap, bp, kc, mode)
+}

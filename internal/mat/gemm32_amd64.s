@@ -1,0 +1,120 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmKernel4x8FMA(c []float32, ldc int, ap, bp []float32, kc, mode int)
+//
+// 4×8 float32 register tile: Y0..Y3 accumulate rows 0..3 of the tile
+// (eight floats each). Each k step loads one B strip row (8 floats,
+// contiguous) and broadcasts the four A strip values, issuing four
+// VFMADD231PS — the same schedule as the float64 kernel at double the
+// element width. The k loop is unrolled ×2. At the end the tile is stored
+// to c with row stride ldc according to mode (0 = overwrite, 1 = add,
+// 2 = subtract).
+TEXT ·gemmKernel4x8FMA(SB), NOSPLIT, $0-96
+	MOVQ c_base+0(FP), DI
+	MOVQ ldc+24(FP), DX
+	MOVQ ap_base+32(FP), SI
+	MOVQ bp_base+56(FP), BX
+	MOVQ kc+80(FP), CX
+	MOVQ mode+88(FP), R8
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	MOVQ CX, R9
+	SHRQ $1, R9         // R9 = kc/2 (unrolled pairs)
+	JZ   tail
+
+pair:
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (SI), Y5
+	VFMADD231PS  Y4, Y5, Y0
+	VBROADCASTSS 4(SI), Y6
+	VFMADD231PS  Y4, Y6, Y1
+	VBROADCASTSS 8(SI), Y7
+	VFMADD231PS  Y4, Y7, Y2
+	VBROADCASTSS 12(SI), Y8
+	VFMADD231PS  Y4, Y8, Y3
+
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS 16(SI), Y10
+	VFMADD231PS  Y9, Y10, Y0
+	VBROADCASTSS 20(SI), Y11
+	VFMADD231PS  Y9, Y11, Y1
+	VBROADCASTSS 24(SI), Y12
+	VFMADD231PS  Y9, Y12, Y2
+	VBROADCASTSS 28(SI), Y13
+	VFMADD231PS  Y9, Y13, Y3
+
+	ADDQ $32, SI
+	ADDQ $64, BX
+	DECQ R9
+	JNZ  pair
+
+tail:
+	ANDQ $1, CX
+	JZ   store
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (SI), Y5
+	VFMADD231PS  Y4, Y5, Y0
+	VBROADCASTSS 4(SI), Y6
+	VFMADD231PS  Y4, Y6, Y1
+	VBROADCASTSS 8(SI), Y7
+	VFMADD231PS  Y4, Y7, Y2
+	VBROADCASTSS 12(SI), Y8
+	VFMADD231PS  Y4, Y8, Y3
+
+store:
+	SHLQ $2, DX         // ldc in bytes
+	CMPQ R8, $1
+	JEQ  madd
+	CMPQ R8, $2
+	JEQ  msub
+
+	// mode 0: overwrite
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Y1, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Y2, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Y3, (DI)
+	VZEROUPPER
+	RET
+
+madd:
+	VADDPS  (DI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Y3, Y3
+	VMOVUPS Y3, (DI)
+	VZEROUPPER
+	RET
+
+msub:
+	VMOVUPS (DI), Y4
+	VSUBPS  Y0, Y4, Y4
+	VMOVUPS Y4, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y5
+	VSUBPS  Y1, Y5, Y5
+	VMOVUPS Y5, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y6
+	VSUBPS  Y2, Y6, Y6
+	VMOVUPS Y6, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y7
+	VSUBPS  Y3, Y7, Y7
+	VMOVUPS Y7, (DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds use the portable float32 micro-kernel.
+func gemmKernel4x8(c []float32, ldc int, ap, bp []float32, kc, mode int) {
+	gemmKernel4x8Go(c, ldc, ap, bp, kc, mode)
+}

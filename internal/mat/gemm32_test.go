@@ -1,0 +1,203 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"imrdmd/internal/compute"
+)
+
+// f32Tol is the relative tolerance for float32 GEMM results against the
+// float64 reference: a kc=256 depth panel accumulates ~256 rounding steps
+// of 2⁻²⁴ each, well inside 1e-4 for the normalized random operands used
+// here.
+const f32Tol = 1e-4
+
+func randDense32(rng *rand.Rand, r, c int) *Dense32 {
+	m := NewDense32(r, c)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// toF64 widens for comparison against the float64 reference kernels.
+func toF64(m *Dense32) *Dense {
+	out := NewDense(m.R, m.C)
+	for i, v := range m.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// TestGemm32RandomShapes drives the float32 packed kernel directly over
+// randomized shapes — odd sizes, 1×N, N×1, empty and remainder rows/cols
+// in every combination of transposes — against the float64 naive
+// reference on the widened operands. Covers the 4×8 tile's edge handling
+// (w < 8 strips) that the f64 4×4 path never exercises.
+func TestGemm32RandomShapes(t *testing.T) {
+	dims := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 31, 33}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := dims[rng.Intn(len(dims))]
+		k := dims[rng.Intn(len(dims))]
+		n := dims[rng.Intn(len(dims))]
+		aT := rng.Intn(2) == 1
+		bT := rng.Intn(2) == 1
+		var a, b *Dense32
+		if aT {
+			a = randDense32(rng, k, m)
+		} else {
+			a = randDense32(rng, m, k)
+		}
+		if bT {
+			b = randDense32(rng, n, k)
+		} else {
+			b = randDense32(rng, k, n)
+		}
+		want := refMul(denseView(toF64(a)), aT, denseView(toF64(b)), bT)
+		got := NewDense32(m, n)
+		for i := range got.Data {
+			got.Data[i] = float32(math.Inf(1)) // gemmSet must fully overwrite
+		}
+		gemmView(nil, denseView(got), denseView(a), aT, denseView(b), bT, gemmSet)
+		for i := range want.Data {
+			if math.Abs(want.Data[i]-float64(got.Data[i])) > f32Tol*(1+want.MaxAbs()) {
+				t.Logf("seed %d m=%d k=%d n=%d aT=%v bT=%v: element %d %v vs %v",
+					seed, m, k, n, aT, bT, i, got.Data[i], want.Data[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGemm32AccumulateModes checks the += and −= modes of the float32
+// kernel on strided views, mirroring TestGemmAccumulateModes.
+func TestGemm32AccumulateModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	host := randDense32(rng, 40, 50)
+	a := randDense32(rng, 13, 40)
+	b := randDense32(rng, 40, 50)
+
+	dstRows := rowsView(host, 3, 16) // 13×50, stride 50
+	before := host.Clone()
+	prod := refMul(denseView(toF64(a)), false, denseView(toF64(b)), false)
+
+	gemmView(nil, dstRows, denseView(a), false, denseView(b), false, gemmAdd)
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 50; j++ {
+			want := float64(before.At(3+i, j)) + prod.At(i, j)
+			if math.Abs(float64(host.At(3+i, j))-want) > f32Tol*(1+math.Abs(want)) {
+				t.Fatalf("gemmAdd: (%d,%d) = %v want %v", i, j, host.At(3+i, j), want)
+			}
+		}
+	}
+	gemmView(nil, dstRows, denseView(a), false, denseView(b), false, gemmSub)
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 50; j++ {
+			want := float64(before.At(3+i, j))
+			if math.Abs(float64(host.At(3+i, j))-want) > f32Tol*(1+math.Abs(want)) {
+				t.Fatalf("gemmSub did not undo gemmAdd at (%d,%d): %v want %v", i, j, host.At(3+i, j), want)
+			}
+		}
+	}
+}
+
+// TestGemm32ParallelBitIdentical pins the fan-out contract for the f32
+// tier too: engine and serial runs must agree bit for bit, since panel
+// ownership and per-element accumulation order are identical.
+func TestGemm32ParallelBitIdentical(t *testing.T) {
+	eng := compute.NewEngine(7)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []struct{ m, k, n int }{
+		{257, 180, 131},
+		{96, 800, 64},
+		{9, 99999, 9},
+	} {
+		a := randDense32(rng, c.m, c.k)
+		b := randDense32(rng, c.k, c.n)
+		serial := NewDense32(c.m, c.n)
+		gemmView(nil, denseView(serial), denseView(a), false, denseView(b), false, gemmSet)
+		parallel := NewDense32(c.m, c.n)
+		gemmView(eng, denseView(parallel), denseView(a), false, denseView(b), false, gemmSet)
+		for i := range serial.Data {
+			if serial.Data[i] != parallel.Data[i] {
+				t.Fatalf("%dx%dx%d: element %d differs bitwise: %v vs %v",
+					c.m, c.k, c.n, i, serial.Data[i], parallel.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemm32KernelsAgree cross-checks the architecture-specific float32
+// micro-kernel against the portable Go one on identical packed strips.
+func TestGemm32KernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, kc := range []int{1, 2, 7, 64, 255, 256} {
+		ap := make([]float32, 4*kc)
+		bp := make([]float32, 8*kc)
+		for i := range ap {
+			ap[i] = float32(rng.NormFloat64())
+		}
+		for i := range bp {
+			bp[i] = float32(rng.NormFloat64())
+		}
+		for mode := gemmSet; mode <= gemmSub; mode++ {
+			want := make([]float32, 32)
+			got := make([]float32, 32)
+			for i := range want {
+				v := float32(rng.NormFloat64())
+				want[i] = v
+				got[i] = v
+			}
+			gemmKernel4x8Go(want, 8, ap, bp, kc, mode)
+			gemmKernel4x8(got, 8, ap, bp, kc, mode)
+			for i := range want {
+				w := float64(want[i])
+				if math.Abs(w-float64(got[i])) > 1e-4*(1+math.Abs(w)) {
+					t.Fatalf("kc=%d mode=%d: element %d: %v vs %v", kc, mode, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMulF32 is the screening-tier counterpart of BenchmarkMul; the
+// CI bench smoke step (-bench=.) exercises the 8-wide kernel path through
+// it on every push.
+func BenchmarkMulF32(b *testing.B) {
+	for _, n := range []int{64, 256, 512} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := randDense32(rng, n, n)
+			y := randDense32(rng, n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMulTF32(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := randDense32(rng, n, n)
+			y := randDense32(rng, n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = MulT(x, y)
+			}
+		})
+	}
+}

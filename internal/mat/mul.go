@@ -22,26 +22,27 @@ func fanOut(e *compute.Engine, flops int) bool {
 // Mul returns a*b. Problems of at least gemmMinFlops run through the
 // packed register-blocked GEMM (see gemm.go), fanned out over row panels
 // on the shared compute engine when large enough; smaller ones use a
-// serial i-k-j loop.
-func Mul(a, b *Dense) *Dense {
+// serial i-k-j loop. Generic over the element tier: a float32 call uses
+// the 8-wide f32 micro-kernel, a float64 call the unchanged 4-wide one.
+func Mul[T Element](a, b *GDense[T]) *GDense[T] {
 	return MulWith(compute.Default(), nil, a, b)
 }
 
 // MulWith computes a*b on engine e, borrowing the result from ws (pass
 // nil ws to allocate). The caller owns the result; if it came from a
 // workspace, return it with PutDense when done.
-func MulWith(e *compute.Engine, ws *compute.Workspace, a, b *Dense) *Dense {
+func MulWith[T Element](e *compute.Engine, ws *compute.Workspace, a, b *GDense[T]) *GDense[T] {
 	if a.C != b.R {
 		panic("mat: Mul inner dimension mismatch")
 	}
-	out := getDenseRaw(ws, a.R, b.C)
+	out := GetDenseRawOf[T](ws, a.R, b.C)
 	mulIntoWith(e, out, a, b)
 	return out
 }
 
 // MulInto computes dst = a*b, reusing dst's storage. dst must be a.R×b.C
 // and must not alias a or b (aliasing panics).
-func MulInto(dst, a, b *Dense) {
+func MulInto[T Element](dst, a, b *GDense[T]) {
 	MulIntoWith(compute.Default(), dst, a, b)
 }
 
@@ -49,7 +50,7 @@ func MulInto(dst, a, b *Dense) {
 // overwritten band-by-band inside the kernel — there is no separate
 // zeroing pass — so dst may come straight from a workspace. dst must not
 // alias a or b.
-func MulIntoWith(e *compute.Engine, dst, a, b *Dense) {
+func MulIntoWith[T Element](e *compute.Engine, dst, a, b *GDense[T]) {
 	if a.C != b.R {
 		panic("mat: MulInto inner dimension mismatch")
 	}
@@ -63,7 +64,7 @@ func MulIntoWith(e *compute.Engine, dst, a, b *Dense) {
 }
 
 // overlaps reports whether the backing arrays of x and y share memory.
-func overlaps(x, y []float64) bool {
+func overlaps[T Element](x, y []T) bool {
 	if len(x) == 0 || len(y) == 0 {
 		return false
 	}
@@ -74,7 +75,7 @@ func overlaps(x, y []float64) bool {
 	return x0 < y1 && y0 < x1
 }
 
-func mulIntoWith(e *compute.Engine, out, a, b *Dense) {
+func mulIntoWith[T Element](e *compute.Engine, out, a, b *GDense[T]) {
 	if a.R*a.C*b.C >= gemmMinFlops {
 		gemmView(e, denseView(out), denseView(a), false, denseView(b), false, gemmSet)
 		return
@@ -87,7 +88,7 @@ func mulIntoWith(e *compute.Engine, out, a, b *Dense) {
 // mulRange computes rows [lo,hi) of out = a*b with an ikj loop order so
 // the inner loop streams through contiguous rows of b and out. Each output
 // row is zeroed just before accumulation, so out need not be pre-zeroed.
-func mulRange(out, a, b *Dense, lo, hi int) {
+func mulRange[T Element](out, a, b *GDense[T], lo, hi int) {
 	n := b.C
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
@@ -108,17 +109,17 @@ func mulRange(out, a, b *Dense, lo, hi int) {
 }
 
 // MulT returns aᵀ*b without materializing the transpose.
-func MulT(a, b *Dense) *Dense {
+func MulT[T Element](a, b *GDense[T]) *GDense[T] {
 	return MulTWith(compute.Default(), nil, a, b)
 }
 
 // MulTWith computes aᵀ*b on engine e, borrowing the result from ws (nil
 // ws allocates).
-func MulTWith(e *compute.Engine, ws *compute.Workspace, a, b *Dense) *Dense {
+func MulTWith[T Element](e *compute.Engine, ws *compute.Workspace, a, b *GDense[T]) *GDense[T] {
 	if a.R != b.R {
 		panic("mat: MulT dimension mismatch")
 	}
-	out := getDenseRaw(ws, a.C, b.C)
+	out := GetDenseRawOf[T](ws, a.C, b.C)
 	if a.R*a.C*b.C >= gemmMinFlops {
 		gemmView(e, denseView(out), denseView(a), true, denseView(b), false, gemmSet)
 		return out
@@ -130,7 +131,7 @@ func MulTWith(e *compute.Engine, ws *compute.Workspace, a, b *Dense) *Dense {
 // mulTRange computes rows [lo,hi) of out = aᵀb. Row i of the output is
 // Σ_k a[k][i] * b[k][:], streaming both a and b row-wise. The band's
 // output rows are zeroed up front, so out need not be pre-zeroed.
-func mulTRange(out, a, b *Dense, lo, hi int) {
+func mulTRange[T Element](out, a, b *GDense[T], lo, hi int) {
 	n := b.C
 	for i := lo; i < hi; i++ {
 		row := out.Data[i*n : i*n+n]
@@ -155,14 +156,14 @@ func mulTRange(out, a, b *Dense, lo, hi int) {
 }
 
 // MulVec returns a*x for a vector x of length a.C.
-func MulVec(a *Dense, x []float64) []float64 {
+func MulVec[T Element](a *GDense[T], x []T) []T {
 	if len(x) != a.C {
 		panic("mat: MulVec dimension mismatch")
 	}
-	out := make([]float64, a.R)
+	out := make([]T, a.R)
 	for i := 0; i < a.R; i++ {
 		row := a.Row(i)
-		var s float64
+		var s T
 		for j, v := range row {
 			s += v * x[j]
 		}
@@ -175,22 +176,22 @@ func MulVec(a *Dense, x []float64) []float64 {
 // symmetric positive semidefinite, with exact symmetry pinned by
 // mirroring the upper triangle (the small-input paths compute only that
 // triangle; the packed-GEMM path computes both and re-mirrors).
-func Gram(m *Dense, byCols bool) *Dense {
+func Gram[T Element](m *GDense[T], byCols bool) *GDense[T] {
 	return GramWith(compute.Default(), nil, m, byCols)
 }
 
 // GramWith computes the Gram matrix on engine e, borrowing the result
 // from ws (nil ws allocates).
-func GramWith(e *compute.Engine, ws *compute.Workspace, m *Dense, byCols bool) *Dense {
+func GramWith[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T], byCols bool) *GDense[T] {
 	if byCols {
 		return gramCols(e, ws, m)
 	}
 	return gramRows(e, ws, m)
 }
 
-func gramRows(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
+func gramRows[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T]) *GDense[T] {
 	n := m.R
-	out := getDenseRaw(ws, n, n)
+	out := GetDenseRawOf[T](ws, n, n)
 	if n*n*m.C >= gemmMinFlops {
 		// m·mᵀ through the packed kernel; the transpose is absorbed by
 		// the B-packing read. The product is symmetric by construction
@@ -205,13 +206,13 @@ func gramRows(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
 	return out
 }
 
-func gramRowsRange(out, m *Dense, lo, hi int) {
+func gramRowsRange[T Element](out, m *GDense[T], lo, hi int) {
 	n := m.R
 	for i := lo; i < hi; i++ {
 		ri := m.Row(i)
 		for j := i; j < n; j++ {
 			rj := m.Row(j)
-			var s float64
+			var s T
 			for k, v := range ri {
 				s += v * rj[k]
 			}
@@ -220,17 +221,17 @@ func gramRowsRange(out, m *Dense, lo, hi int) {
 	}
 }
 
-func gramCols(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
+func gramCols[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T]) *GDense[T] {
 	// mᵀm through the packed kernel when large; the rank-1 accumulation
 	// below handles small inputs without packing overhead.
 	n := m.C
 	if flops := n * n * m.R; flops >= gemmMinFlops {
-		out := getDenseRaw(ws, n, n)
+		out := GetDenseRawOf[T](ws, n, n)
 		gemmView(e, denseView(out), denseView(m), true, denseView(m), false, gemmSet)
 		mirrorUpperToLower(out)
 		return out
 	}
-	out := GetDense(ws, n, n)
+	out := GetDenseOf[T](ws, n, n)
 	for k := 0; k < m.R; k++ {
 		row := m.Row(k)
 		for i := 0; i < n; i++ {
@@ -250,7 +251,7 @@ func gramCols(e *compute.Engine, ws *compute.Workspace, m *Dense) *Dense {
 
 // mirrorUpperToLower copies the strict upper triangle of the square
 // matrix out onto its lower triangle, pinning exact symmetry.
-func mirrorUpperToLower(out *Dense) {
+func mirrorUpperToLower[T Element](out *GDense[T]) {
 	n := out.C
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {

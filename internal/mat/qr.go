@@ -6,12 +6,16 @@ import (
 	"imrdmd/internal/compute"
 )
 
-// QR holds a thin (economy) QR factorization A = Q R with Q m×n
-// column-orthonormal and R n×n upper triangular, for m ≥ n.
-type QR struct {
-	Q *Dense
-	R *Dense
+// GQR holds a thin (economy) QR factorization A = Q R with Q m×n
+// column-orthonormal and R n×n upper triangular, for m ≥ n, over either
+// element tier.
+type GQR[T Element] struct {
+	Q *GDense[T]
+	R *GDense[T]
 }
+
+// QR is the float64 thin QR factorization.
+type QR = GQR[float64]
 
 // qrPanel is the blocked-QR panel width: columns are factored panel by
 // panel, and each panel is orthogonalized against all previous columns
@@ -28,31 +32,32 @@ const qrPanel = 32
 // comparable to Householder for the well- to moderately-conditioned
 // matrices this package sees), then factored internally by two-pass MGS.
 // Q stays explicit, which the incremental-SVD layer needs.
-func QRFactor(a *Dense) *QR {
+func QRFactor[T Element](a *GDense[T]) *GQR[T] {
 	return QRFactorOn(compute.Default(), nil, a)
 }
 
 // QRFactorWith is QRFactor with Q and R borrowed from ws (nil ws
 // allocates). Return both factors with PutDense (or qr.Release) when the
 // factorization is no longer needed.
-func QRFactorWith(ws *compute.Workspace, a *Dense) *QR {
+func QRFactorWith[T Element](ws *compute.Workspace, a *GDense[T]) *GQR[T] {
 	return QRFactorOn(compute.Default(), ws, a)
 }
 
 // QRFactorOn is QRFactorWith with the trailing-matrix GEMM updates routed
-// through engine e (nil e runs them serially).
+// through engine e (nil e runs them serially). Generic over the element
+// tier: the float32 instantiation is the screening SVD's preconditioner.
 //
 // The factorization works on the transpose of a: columns become
 // contiguous rows, so every dot product, axpy and norm in the panel
 // streams unit-stride, and the trailing update is a pair of view-GEMMs
 // over row blocks. The result is transposed back into Q at the end.
-func QRFactorOn(e *compute.Engine, ws *compute.Workspace, a *Dense) *QR {
+func QRFactorOn[T Element](e *compute.Engine, ws *compute.Workspace, a *GDense[T]) *GQR[T] {
 	m, n := a.R, a.C
 	if m < n {
 		panic("mat: QRFactor requires rows >= cols")
 	}
 	qt := TWith(ws, a) // n×m: row j is column j of a
-	r := GetDense(ws, n, n)
+	r := GetDenseOf[T](ws, n, n)
 	for j0 := 0; j0 < n; j0 += qrPanel {
 		j1 := min(j0+qrPanel, n)
 		if j0 > 0 {
@@ -61,7 +66,7 @@ func QRFactorOn(e *compute.Engine, ws *compute.Workspace, a *Dense) *QR {
 			// transposed layout; the corrections accumulate into R and the
 			// panel update P −= Qprev·S is a GEMM in sub mode.
 			for pass := 0; pass < 2; pass++ {
-				s := getDenseRaw(ws, j0, j1-j0)
+				s := GetDenseRawOf[T](ws, j0, j1-j0)
 				gemmView(e, denseView(s), rowsView(qt, 0, j0), false, rowsView(qt, j0, j1), true, gemmSet)
 				for i := 0; i < j0; i++ {
 					srow := s.Row(i)
@@ -93,20 +98,20 @@ func QRFactorOn(e *compute.Engine, ws *compute.Workspace, a *Dense) *QR {
 	}
 	q := TWith(ws, qt)
 	PutDense(ws, qt)
-	return &QR{Q: q, R: r}
+	return &GQR[T]{Q: q, R: r}
 }
 
 // Release returns both factors' storage to ws.
-func (qr *QR) Release(ws *compute.Workspace) {
+func (qr *GQR[T]) Release(ws *compute.Workspace) {
 	PutDense(ws, qr.Q)
 	PutDense(ws, qr.R)
 }
 
 // rowDot returns row i · row j of m (contiguous).
-func rowDot(m *Dense, i, j int) float64 {
+func rowDot[T Element](m *GDense[T], i, j int) T {
 	ri := m.Row(i)
 	rj := m.Row(j)
-	var s float64
+	var s T
 	for k, v := range ri {
 		s += v * rj[k]
 	}
@@ -114,7 +119,7 @@ func rowDot(m *Dense, i, j int) float64 {
 }
 
 // rowAxpy does row j += alpha * row i.
-func rowAxpy(m *Dense, alpha float64, i, j int) {
+func rowAxpy[T Element](m *GDense[T], alpha T, i, j int) {
 	ri := m.Row(i)
 	rj := m.Row(j)
 	for k, v := range ri {
@@ -122,15 +127,15 @@ func rowAxpy(m *Dense, alpha float64, i, j int) {
 	}
 }
 
-func rowNorm(m *Dense, j int) float64 {
-	var s float64
+func rowNorm[T Element](m *GDense[T], j int) T {
+	var s T
 	for _, v := range m.Row(j) {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	return T(math.Sqrt(float64(s)))
 }
 
-func rowScale(m *Dense, j int, s float64) {
+func rowScale[T Element](m *GDense[T], j int, s T) {
 	rj := m.Row(j)
 	for k := range rj {
 		rj[k] *= s
@@ -141,9 +146,9 @@ func rowScale(m *Dense, j int, s float64) {
 // pivots are treated as rank deficiencies: the corresponding solution
 // component is set to zero, giving a basic least-norm-flavored solution
 // rather than NaNs.
-func SolveUpper(r *Dense, b []float64) []float64 {
+func SolveUpper[T Element](r *GDense[T], b []T) []T {
 	n := r.R
-	x := make([]float64, n)
+	x := make([]T, n)
 	tol := 1e-13 * r.MaxAbs()
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
@@ -151,7 +156,7 @@ func SolveUpper(r *Dense, b []float64) []float64 {
 		for j := i + 1; j < n; j++ {
 			s -= row[j] * x[j]
 		}
-		if math.Abs(row[i]) <= tol {
+		if math.Abs(float64(row[i])) <= tol {
 			x[i] = 0
 			continue
 		}
@@ -162,15 +167,15 @@ func SolveUpper(r *Dense, b []float64) []float64 {
 
 // LstSq solves min ‖Ax − b‖₂ via thin QR: x = R⁻¹ Qᵀ b. A must have
 // rows ≥ cols.
-func LstSq(a *Dense, b []float64) []float64 {
+func LstSq[T Element](a *GDense[T], b []T) []T {
 	if len(b) != a.R {
 		panic("mat: LstSq dimension mismatch")
 	}
 	qr := QRFactor(a)
 	// qtb = Qᵀ b
-	qtb := make([]float64, a.C)
+	qtb := make([]T, a.C)
 	for j := 0; j < a.C; j++ {
-		var s float64
+		var s T
 		for i := 0; i < a.R; i++ {
 			s += qr.Q.Data[i*a.C+j] * b[i]
 		}

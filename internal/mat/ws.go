@@ -3,34 +3,42 @@ package mat
 import "imrdmd/internal/compute"
 
 // This file adapts the compute.Workspace buffer pool to the matrix types:
-// shape-keyed Get/Put of Dense and CDense scratch. A nil workspace always
-// degrades to plain allocation, so every With-variant can be called with
-// ws == nil.
+// shape-keyed Get/Put of GDense[T] and CDense scratch, generic over the
+// element tier, plus the float64 ↔ float32 conversions that move data
+// between the precision tiers. A nil workspace always degrades to plain
+// allocation, so every With-variant can be called with ws == nil.
 
-// GetDense borrows a zeroed r×c matrix from ws (nil ws allocates).
-// Return it with PutDense when done.
+// GetDenseOf borrows a zeroed r×c matrix of element type T from ws (nil
+// ws allocates). Return it with PutDense when done.
+func GetDenseOf[T Element](ws *compute.Workspace, r, c int) *GDense[T] {
+	return &GDense[T]{R: r, C: c, Data: compute.GetFloatsZero[T](ws, r*c)}
+}
+
+// GetDense borrows a zeroed r×c float64 matrix from ws.
 func GetDense(ws *compute.Workspace, r, c int) *Dense {
-	return &Dense{R: r, C: c, Data: ws.GetF64Zero(r * c)}
+	return GetDenseOf[float64](ws, r, c)
 }
 
-// GetDenseRaw borrows an r×c matrix whose contents are unspecified — for
-// callers that overwrite every element before reading (e.g. feeding
-// dmd.ReconstructModesInto, which zeroes its output itself).
+// GetDenseRawOf borrows an r×c matrix of element type T whose contents
+// are unspecified — for callers that overwrite every element before
+// reading (e.g. feeding dmd.ReconstructModesInto, which zeroes its output
+// itself).
+func GetDenseRawOf[T Element](ws *compute.Workspace, r, c int) *GDense[T] {
+	return &GDense[T]{R: r, C: c, Data: compute.GetFloats[T](ws, r*c)}
+}
+
+// GetDenseRaw borrows an r×c float64 matrix with unspecified contents.
 func GetDenseRaw(ws *compute.Workspace, r, c int) *Dense {
-	return getDenseRaw(ws, r, c)
-}
-
-func getDenseRaw(ws *compute.Workspace, r, c int) *Dense {
-	return &Dense{R: r, C: c, Data: ws.GetF64(r * c)}
+	return GetDenseRawOf[float64](ws, r, c)
 }
 
 // PutDense returns a matrix's storage to the pool. The matrix must not be
 // used afterwards. Nil m or ws is a no-op.
-func PutDense(ws *compute.Workspace, m *Dense) {
+func PutDense[T Element](ws *compute.Workspace, m *GDense[T]) {
 	if m == nil {
 		return
 	}
-	ws.PutF64(m.Data)
+	compute.PutFloats(ws, m.Data)
 	m.Data = nil
 }
 
@@ -49,18 +57,18 @@ func PutCDense(ws *compute.Workspace, m *CDense) {
 }
 
 // CloneWith copies m into a matrix borrowed from ws.
-func CloneWith(ws *compute.Workspace, m *Dense) *Dense {
-	out := getDenseRaw(ws, m.R, m.C)
+func CloneWith[T Element](ws *compute.Workspace, m *GDense[T]) *GDense[T] {
+	out := GetDenseRawOf[T](ws, m.R, m.C)
 	copy(out.Data, m.Data)
 	return out
 }
 
 // ColSliceWith copies columns [j0, j1) of m into a matrix borrowed from ws.
-func ColSliceWith(ws *compute.Workspace, m *Dense, j0, j1 int) *Dense {
+func ColSliceWith[T Element](ws *compute.Workspace, m *GDense[T], j0, j1 int) *GDense[T] {
 	if j0 < 0 || j1 > m.C || j0 > j1 {
 		panic("mat: ColSliceWith out of range")
 	}
-	out := getDenseRaw(ws, m.R, j1-j0)
+	out := GetDenseRawOf[T](ws, m.R, j1-j0)
 	for i := 0; i < m.R; i++ {
 		copy(out.Row(i), m.Data[i*m.C+j0:i*m.C+j1])
 	}
@@ -69,12 +77,12 @@ func ColSliceWith(ws *compute.Workspace, m *Dense, j0, j1 int) *Dense {
 
 // SubsampleWith copies every stride-th column (starting at 0) into a
 // matrix borrowed from ws.
-func SubsampleWith(ws *compute.Workspace, m *Dense, stride int) *Dense {
+func SubsampleWith[T Element](ws *compute.Workspace, m *GDense[T], stride int) *GDense[T] {
 	if stride <= 1 {
 		return CloneWith(ws, m)
 	}
 	n := (m.C + stride - 1) / stride
-	out := getDenseRaw(ws, m.R, n)
+	out := GetDenseRawOf[T](ws, m.R, n)
 	for i := 0; i < m.R; i++ {
 		src := m.Row(i)
 		dst := out.Row(i)
@@ -86,11 +94,11 @@ func SubsampleWith(ws *compute.Workspace, m *Dense, stride int) *Dense {
 }
 
 // HStackWith builds [A B] in a matrix borrowed from ws.
-func HStackWith(ws *compute.Workspace, a, b *Dense) *Dense {
+func HStackWith[T Element](ws *compute.Workspace, a, b *GDense[T]) *GDense[T] {
 	if a.R != b.R {
 		panic("mat: HStack row mismatch")
 	}
-	out := getDenseRaw(ws, a.R, a.C+b.C)
+	out := GetDenseRawOf[T](ws, a.R, a.C+b.C)
 	for i := 0; i < a.R; i++ {
 		row := out.Row(i)
 		copy(row[:a.C], a.Row(i))
@@ -100,19 +108,19 @@ func HStackWith(ws *compute.Workspace, a, b *Dense) *Dense {
 }
 
 // VStackWith builds [A; B] in a matrix borrowed from ws.
-func VStackWith(ws *compute.Workspace, a, b *Dense) *Dense {
+func VStackWith[T Element](ws *compute.Workspace, a, b *GDense[T]) *GDense[T] {
 	if a.C != b.C {
 		panic("mat: VStack col mismatch")
 	}
-	out := getDenseRaw(ws, a.R+b.R, a.C)
+	out := GetDenseRawOf[T](ws, a.R+b.R, a.C)
 	copy(out.Data[:len(a.Data)], a.Data)
 	copy(out.Data[len(a.Data):], b.Data)
 	return out
 }
 
 // TWith copies the transpose of m into a matrix borrowed from ws.
-func TWith(ws *compute.Workspace, m *Dense) *Dense {
-	t := getDenseRaw(ws, m.C, m.R)
+func TWith[T Element](ws *compute.Workspace, m *GDense[T]) *GDense[T] {
+	t := GetDenseRawOf[T](ws, m.C, m.R)
 	const bs = 64
 	for ii := 0; ii < m.R; ii += bs {
 		iMax := min(ii+bs, m.R)

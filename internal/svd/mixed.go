@@ -1,0 +1,222 @@
+package svd
+
+import (
+	"math"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/mat"
+)
+
+// This file is the mixed-precision compute tier of the SVD layer: the
+// multifidelity principle of the paper (cheap low-fidelity passes
+// everywhere, expensive high-fidelity analysis only where it matters)
+// applied to arithmetic precision.
+//
+// MixedCompute factors a float64 window in two passes:
+//
+//  1. Screening (low fidelity): the window is narrowed to float32 and
+//     factored by the QR-preconditioned one-sided Jacobi SVD running
+//     entirely in the f32 tier — half the memory traffic and twice the
+//     SIMD width of the f64 path (the 4×8 micro-kernel of gemm32_amd64.s).
+//     The truncation decision is made HERE, on the f32 spectrum, with the
+//     same rule the f64 pipeline would apply (SVHT, a fixed rank cap, or
+//     full numerical rank). Making the decision in the screen is what
+//     keeps it consistent: SVHT's threshold is median-based, so it must
+//     see the full spectrum, and the f32 spectrum matches the f64 one to
+//     ~1e-7 relative wherever f32 can represent it at all.
+//  2. Refinement (high fidelity): one float64 subspace iteration over
+//     only the kept directions (plus screenKeepPad safety margin), warm-
+//     started from the f32 right singular basis — B = A·V₀ (f64 GEMM),
+//     B = Q·R (f64 QR), SVD of the small k×k R by f64 Jacobi, then
+//     U = Q·U_R and V = V₀·V_R. The subspace error of V₀ is O(ε₃₂) ≈ 1e-7
+//     and one iteration squares it, so the refined triplets match the
+//     all-f64 factorization to well within the SVHT decision tolerance
+//     (mixed_test.go pins 1e-6 relative agreement on the kept values).
+//
+// Windows whose f32 screen finds a numerically zero spectrum skip the
+// refinement entirely — the multifidelity payoff for quiet subtree
+// windows whose residual is already fully explained by slower levels.
+// For kept windows the f64 cost scales with the kept rank k, not the
+// window width n: under SVHT k is typically a small fraction of n, which
+// is exactly the "expensive analysis only where it matters" trade.
+
+// screenKeepPad is how many extra trailing directions the refinement
+// carries beyond the screen's keep count, so the k-th kept direction is
+// refined against a slightly larger subspace and a borderline direction
+// still benefits from f64 arithmetic before truncation.
+const screenKeepPad = 2
+
+// MixedCompute returns the economy SVD of a through the mixed-precision
+// tier: an f32 screening pass that decides the retained rank, then an f64
+// refinement of exactly the kept directions. The decision rule mirrors
+// dmd.FromSVD: SVHT when useSVHT is set, capped by rankCap when rankCap >
+// 0, full numerical rank otherwise — so callers feed the result to
+// FromSVD with the decision already applied (UseSVHT off, Rank 0).
+//
+// The returned factors are float64 and freshly owned (never workspace
+// storage), like ComputeWith. Kept triplets agree with the all-f64
+// factorization to the screening subspace error (~1e-7 relative) — ample
+// for DMD mode extraction — but are NOT bit-identical to it; callers that
+// need bit-stable f64 results use ComputeWith.
+func MixedCompute(e *compute.Engine, ws *compute.Workspace, a *mat.Dense, useSVHT bool, rankCap int) *Result {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return &Result{U: mat.NewDense(m, 0), S: nil, V: mat.NewDense(n, 0)}
+	}
+	// Degenerate widths have nothing to screen: the f64 Jacobi on a 1-2
+	// column factor is already cheaper than a convert-screen-refine round
+	// trip.
+	if min(m, n) < 2 {
+		return ComputeWith(e, ws, a)
+	}
+
+	// The screen works on A/‖A‖max so windows far outside float32 range
+	// survive the narrowing: without the scaling, entries below ~1e-38
+	// underflow to zero (a quiet deep-level residual would read as an
+	// empty window and lose its modes) and entries above ~3e38 overflow
+	// to ±Inf (poisoning the spectrum). The SVD is linear in the scale, so
+	// the screen's two outputs — the basis and the relative spectrum the
+	// scale-invariant SVHT decision reads — are unaffected, and the f64
+	// refinement works on the unscaled A.
+	maxAbs := a.MaxAbs()
+	if maxAbs == 0 {
+		return &Result{U: mat.NewDense(m, 1), S: []float64{0}, V: mat.NewDense(n, 1)}
+	}
+
+	// Screening pass, entirely in the f32 tier. Only the short-side
+	// singular basis and the spectrum are computed — the screen never
+	// needs the long-side factor, so the m-sized basis rotation the full
+	// f32 SVD would pay is skipped. For wide matrices (m < n) the roles
+	// of U and V swap; screening the transpose iterates the short side.
+	a32 := narrowScaled(ws, a, 1/maxAbs)
+	var s32 []float32
+	var basis32 *mat.Dense32
+	if m >= n {
+		s32, basis32 = screen32(e, ws, a32)
+	} else {
+		at32 := mat.TWith(ws, a32)
+		s32, basis32 = screen32(e, ws, at32)
+		mat.PutDense(ws, at32)
+	}
+	mat.PutDense(ws, a32)
+
+	if s32[0] == 0 {
+		// Numerically zero window: skip refinement, return the canonical
+		// zero decomposition (same shape ComputeWith produces via its
+		// rank-0 guard).
+		mat.PutDense(ws, basis32)
+		return &Result{U: mat.NewDense(m, 1), S: []float64{0}, V: mat.NewDense(n, 1)}
+	}
+
+	// The truncation decision, on the f32 spectrum.
+	rank := len(s32)
+	if useSVHT {
+		rank = SVHTRank(s32, m, n)
+	}
+	if rankCap > 0 && rankCap < rank {
+		rank = rankCap
+	}
+	k := min(rank+screenKeepPad, len(s32))
+
+	// Widen the leading k f32 singular directions as the refinement's
+	// warm start.
+	w0 := widenCols(ws, basis32, k)
+	mat.PutDense(ws, basis32)
+	if m >= n {
+		u, s, v := refineSubspace(e, ws, a, false, w0, rank)
+		mat.PutDense(ws, w0)
+		return &Result{U: u, S: s, V: v}
+	}
+	// Aᵀ = V S Uᵀ: refine the transpose problem with the screened left
+	// basis as its right basis, then swap factors back.
+	v, s, u := refineSubspace(e, ws, a, true, w0, rank)
+	mat.PutDense(ws, w0)
+	return &Result{U: u, S: s, V: v}
+}
+
+// screen32 computes the f32 spectrum and right singular basis of a32
+// (m ≥ n after the caller's orientation), skipping the left factor the
+// screen never uses: tall windows go straight through QR preconditioning
+// and keep only the small Jacobi's V, saving the m×n×k basis rotation of
+// a full SVD. The returned basis is workspace storage (PutDense it back).
+func screen32(e *compute.Engine, ws *compute.Workspace, a32 *mat.Dense32) ([]float32, *mat.Dense32) {
+	m, n := a32.Dims()
+	if n >= 2 && m >= qrPrecondRatio*n {
+		qr := mat.QRFactorOn(e, ws, a32)
+		rs := jacobiSVDWS(e, qr.R, ws, true)
+		qr.Release(ws)
+		mat.PutDense(ws, rs.U)
+		return rs.S, rs.V
+	}
+	rs := jacobiSVDWS(e, a32, ws, true)
+	mat.PutDense(ws, rs.U)
+	return rs.S, rs.V
+}
+
+// narrowScaled narrows s·m into a workspace-borrowed float32 matrix (the
+// screen's normalized copy; s = 1/‖m‖max puts the largest entry at ±1).
+func narrowScaled(ws *compute.Workspace, m *mat.Dense, s float64) *mat.Dense32 {
+	out := mat.GetDenseRawOf[float32](ws, m.R, m.C)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v * s)
+	}
+	return out
+}
+
+// widenCols widens the leading k columns of a float32 factor into a
+// workspace-borrowed float64 matrix.
+func widenCols(ws *compute.Workspace, f *mat.Dense32, k int) *mat.Dense {
+	out := mat.GetDenseRawOf[float64](ws, f.R, k)
+	for i := 0; i < f.R; i++ {
+		src := f.Row(i)
+		dst := out.Row(i)
+		for j := 0; j < k; j++ {
+			dst[j] = float64(src[j])
+		}
+	}
+	return out
+}
+
+// refineSubspace runs one float64 subspace iteration of a (or aᵀ when aT)
+// against the warm-start right basis v0 (k ≥ rank columns): B = A·V₀,
+// B = Q·R, R = U_R S V_Rᵀ, giving U = Q·U_R, V = V₀·V_R, truncated to the
+// screen-decided rank (directions that refine to numerical zero below
+// relDropTol·σmax are cut further, but at least one triplet is always
+// kept). Returns freshly owned factors.
+func refineSubspace(e *compute.Engine, ws *compute.Workspace, a *mat.Dense, aT bool, v0 *mat.Dense, rank int) (u *mat.Dense, s []float64, v *mat.Dense) {
+	var b *mat.Dense
+	if aT {
+		// B = Aᵀ·V₀ without materializing the transpose.
+		b = mat.MulTWith(e, ws, a, v0)
+	} else {
+		b = mat.MulWith(e, ws, a, v0)
+	}
+	qr := mat.QRFactorOn(e, ws, b)
+	mat.PutDense(ws, b)
+	rs := jacobiSVDWS(e, qr.R, ws, true)
+
+	if rank > rs.Rank() {
+		rank = rs.Rank()
+	}
+	smax := rs.S[0]
+	for rank > 1 && rs.S[rank-1] <= relDropTol*smax {
+		rank--
+	}
+	ur := rs.U.ColSlice(0, rank)
+	vr := rs.V.ColSlice(0, rank)
+	u = mat.MulWith(e, nil, qr.Q, ur)
+	v = mat.MulWith(e, nil, v0, vr)
+	s = make([]float64, rank)
+	copy(s, rs.S[:rank])
+	// A zero matrix refines to σ = {0}: normalize the -0.0 the Jacobi can
+	// leave behind so the zero decomposition is canonical.
+	for i := range s {
+		if s[i] == 0 {
+			s[i] = math.Abs(s[i])
+		}
+	}
+	qr.Release(ws)
+	mat.PutDense(ws, rs.U)
+	mat.PutDense(ws, rs.V)
+	return u, s, v
+}

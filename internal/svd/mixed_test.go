@@ -1,0 +1,205 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/mat"
+)
+
+// lowRankPlusNoise builds an m×n matrix with r dominant directions at the
+// given scale plus small noise — the shape of a subtree-window residual.
+func lowRankPlusNoise(rng *rand.Rand, m, n, r int, scale, noise float64) *mat.Dense {
+	a := mat.NewDense(m, n)
+	for k := 0; k < r; k++ {
+		u := make([]float64, m)
+		v := make([]float64, n)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		w := scale / float64(int(1)<<k) // geometrically decaying spectrum
+		for i := 0; i < m; i++ {
+			row := a.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += w * u[i] * v[j]
+			}
+		}
+	}
+	for i := range a.Data {
+		a.Data[i] += noise * scale * rng.NormFloat64()
+	}
+	return a
+}
+
+// TestMixedComputeMatchesFloat64 pins the refinement contract: the mixed
+// tier keeps the same SVHT rank as the f64 SVHT decision on clear-cut
+// spectra, its kept singular values agree to ~1e-6 relative, and its
+// factors reconstruct the kept part of the data as well as the truncated
+// f64 factors do.
+func TestMixedComputeMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := compute.NewWorkspace()
+	shapes := []struct{ m, n, r int }{
+		{40, 9, 3},   // tall: QR-preconditioned screen
+		{9, 40, 3},   // wide: transpose route
+		{24, 24, 4},  // square
+		{200, 16, 5}, // subtree-window shape
+		{7, 5, 2},    // small
+	}
+	for _, sh := range shapes {
+		a := lowRankPlusNoise(rng, sh.m, sh.n, sh.r, 10, 1e-3)
+		want := ComputeWith(nil, ws, a)
+		r64 := SVHTRank(want.S, sh.m, sh.n)
+		got := MixedCompute(nil, ws, a, true, 0)
+		if got.Rank() != r64 {
+			t.Fatalf("%dx%d: mixed kept rank %d, f64 SVHT rank %d (σ64=%v)",
+				sh.m, sh.n, got.Rank(), r64, want.S)
+		}
+		for i := 0; i < r64; i++ {
+			rel := math.Abs(want.S[i]-got.S[i]) / want.S[i]
+			if rel > 1e-6 {
+				t.Fatalf("%dx%d: σ[%d] relative error %.2e (%v vs %v)",
+					sh.m, sh.n, i, rel, got.S[i], want.S[i])
+			}
+		}
+		// Reconstruction of the kept part: mixed factors must explain the
+		// data as well as the SVHT-truncated f64 factors.
+		wantErr := mat.Sub(a, want.Truncate(r64).Reconstruct()).FrobNorm()
+		gotErr := mat.Sub(a, got.Reconstruct()).FrobNorm()
+		if gotErr > wantErr*(1+1e-4)+1e-6*want.S[0] {
+			t.Fatalf("%dx%d: mixed reconstruction ‖err‖=%.6e vs f64 %.6e", sh.m, sh.n, gotErr, wantErr)
+		}
+	}
+}
+
+// TestMixedComputeFixedRank pins the rankCap route (core.Options.Rank):
+// the screen truncates at the cap and the refined triplets match the f64
+// factorization's leading ones.
+func TestMixedComputeFixedRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := compute.NewWorkspace()
+	a := lowRankPlusNoise(rng, 60, 12, 5, 1, 1e-4)
+	want := ComputeWith(nil, ws, a)
+	got := MixedCompute(nil, ws, a, false, 3)
+	if got.Rank() != 3 {
+		t.Fatalf("rankCap=3 kept %d", got.Rank())
+	}
+	for i := 0; i < 3; i++ {
+		rel := math.Abs(want.S[i]-got.S[i]) / want.S[i]
+		if rel > 1e-6 {
+			t.Fatalf("σ[%d] relative error %.2e", i, rel)
+		}
+	}
+}
+
+// TestMixedComputeOutOfF32Range pins the screen's pre-scaling: windows
+// whose magnitudes sit entirely outside float32 range (below ~1e-38 the
+// raw narrowing underflows to zero, above ~3e38 it overflows to ±Inf)
+// must still keep the same SVHT rank as the f64 tier, because the screen
+// normalizes by ‖A‖max before narrowing.
+func TestMixedComputeOutOfF32Range(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ws := compute.NewWorkspace()
+	for _, scale := range []float64{1e-300, 1e-46, 1e200} {
+		a := lowRankPlusNoise(rng, 50, 10, 3, scale, 1e-3)
+		want := ComputeWith(nil, ws, a)
+		r64 := SVHTRank(want.S, 50, 10)
+		got := MixedCompute(nil, ws, a, true, 0)
+		if got.Rank() != r64 {
+			t.Fatalf("scale %.0e: mixed kept %d directions, f64 SVHT keeps %d (σ=%v)",
+				scale, got.Rank(), r64, got.S)
+		}
+		for i := 0; i < r64; i++ {
+			rel := math.Abs(want.S[i]-got.S[i]) / want.S[i]
+			if rel > 1e-6 {
+				t.Fatalf("scale %.0e: σ[%d] relative error %.2e", scale, i, rel)
+			}
+		}
+	}
+}
+
+// TestMixedComputeZeroWindow pins the screening skip: a numerically zero
+// window short-circuits to the canonical zero decomposition without a
+// float64 refinement pass, matching ComputeWith's rank-0 shape.
+func TestMixedComputeZeroWindow(t *testing.T) {
+	ws := compute.NewWorkspace()
+	a := mat.NewDense(30, 8)
+	got := MixedCompute(nil, ws, a, true, 0)
+	if got.Rank() != 1 || got.S[0] != 0 {
+		t.Fatalf("zero window: rank=%d S=%v, want the canonical zero triplet", got.Rank(), got.S)
+	}
+	if got.U.R != 30 || got.U.C != 1 || got.V.R != 8 || got.V.C != 1 {
+		t.Fatalf("zero window factor shapes: U %dx%d V %dx%d", got.U.R, got.U.C, got.V.R, got.V.C)
+	}
+}
+
+// TestScreeningNeverDropsKeptWindow is the mixed-vs-float64 agreement
+// property (ISSUE 3 satellite): across random window shapes, ranks,
+// scales (1e-12…1e12) and noise levels, the f32 screening pass must never
+// drop a window — or a direction — that the f64 SVHT decision keeps. The
+// guard is tolerance-based, skipping windows where the two tiers may
+// legitimately disagree: a singular value within ±5% of the SVHT
+// threshold (either decision is defensible there), or spectrum mass below
+// f32 visibility (3e-6 relative — the f64 tier sees directions the f32
+// screen cannot represent, which shifts SVHT's median). Everywhere else
+// the mixed kept rank must equal the f64 SVHT rank exactly. CI runs this
+// under -race, which also exercises the shared f32 pack-buffer pool
+// through the concurrent test binary.
+func TestScreeningNeverDropsKeptWindow(t *testing.T) {
+	ws := compute.NewWorkspace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 6 + rng.Intn(60)
+		n := 2 + rng.Intn(24)
+		r := 1 + rng.Intn(min(m, n))
+		scale := math.Pow(10, float64(rng.Intn(25)-12)) // 1e-12 … 1e12
+		noise := math.Pow(10, -float64(rng.Intn(6)))    // 1e0 … 1e-5 relative
+		a := lowRankPlusNoise(rng, m, n, r, scale, noise)
+
+		want := ComputeWith(nil, ws, a)
+		got := MixedCompute(nil, ws, a, true, 0)
+
+		// A window with any signal must never be screened away entirely.
+		if want.S[0] > 0 && (got.Rank() == 0 || got.S[0] == 0) {
+			t.Logf("seed %d %dx%d: window with σmax=%v screened to zero", seed, m, n, want.S[0])
+			return false
+		}
+
+		// Tolerance guards.
+		for _, s := range want.S {
+			if s > relDropTol*want.S[0] && s < 3e-6*want.S[0] {
+				return true // sub-f32-visible direction: median shift is legitimate
+			}
+		}
+		beta := float64(min(m, n)) / float64(max(m, n))
+		omega := 0.56*beta*beta*beta - 0.95*beta*beta + 1.82*beta + 1.43
+		tau := omega * median(want.S)
+		for _, s := range want.S {
+			if s > tau/1.05 && s < tau*1.05 {
+				return true // borderline SVHT call
+			}
+		}
+
+		r64 := SVHTRank(want.S, m, n)
+		if got.Rank() < r64 {
+			t.Logf("seed %d %dx%d scale=%.0e: mixed kept %d directions, f64 SVHT keeps %d (σ64=%v)",
+				seed, m, n, scale, got.Rank(), r64, want.S[:r64])
+			return false
+		}
+		if got.Rank() != r64 {
+			t.Logf("seed %d %dx%d scale=%.0e: mixed kept rank %d != f64 SVHT rank %d",
+				seed, m, n, scale, got.Rank(), r64)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,37 +5,49 @@
 // Brand-style incremental SVD the paper adopts for I-mrDMD (Kühl et al.,
 // "An incremental singular value decomposition approach for large-scale
 // spatially parallel & distributed but temporally serial data").
+//
+// The Jacobi path is generic over the element tier: the float32
+// instantiation is the mixed-precision screening SVD (see mixed.go and
+// DESIGN.md §6), the float64 instantiation the unchanged accurate solver.
 package svd
 
 import (
 	"math"
 	"sort"
+	"unsafe"
 
 	"imrdmd/internal/compute"
 	"imrdmd/internal/eig"
 	"imrdmd/internal/mat"
 )
 
-// Result is an economy SVD A ≈ U diag(S) Vᵀ with U m×k, V n×k and k the
-// retained rank (k ≤ min(m,n); tiny singular values may be dropped).
-type Result struct {
-	U *mat.Dense
-	S []float64
-	V *mat.Dense
+// GResult is an economy SVD A ≈ U diag(S) Vᵀ with U m×k, V n×k and k the
+// retained rank (k ≤ min(m,n); tiny singular values may be dropped), over
+// element tier T.
+type GResult[T mat.Element] struct {
+	U *mat.GDense[T]
+	S []T
+	V *mat.GDense[T]
 }
 
+// Result is the float64 economy SVD.
+type Result = GResult[float64]
+
+// Result32 is the float32 economy SVD produced by the screening tier.
+type Result32 = GResult[float32]
+
 // Rank returns the number of retained singular values.
-func (r *Result) Rank() int { return len(r.S) }
+func (r *GResult[T]) Rank() int { return len(r.S) }
 
 // Truncate returns a copy of the decomposition keeping the leading k
 // singular triplets. k larger than the current rank is clamped.
-func (r *Result) Truncate(k int) *Result {
+func (r *GResult[T]) Truncate(k int) *GResult[T] {
 	if k >= r.Rank() {
-		return &Result{U: r.U.Clone(), S: append([]float64(nil), r.S...), V: r.V.Clone()}
+		return &GResult[T]{U: r.U.Clone(), S: append([]T(nil), r.S...), V: r.V.Clone()}
 	}
-	return &Result{
+	return &GResult[T]{
 		U: r.U.ColSlice(0, k),
-		S: append([]float64(nil), r.S[:k]...),
+		S: append([]T(nil), r.S[:k]...),
 		V: r.V.ColSlice(0, k),
 	}
 }
@@ -44,11 +56,11 @@ func (r *Result) Truncate(k int) *Result {
 // k >= Rank() the receiver itself is returned unchanged (no copy) — check
 // `tr != r` before returning borrowed factors to the pool. The result is
 // read-only for the borrower.
-func (r *Result) TruncateWith(ws *compute.Workspace, k int) *Result {
+func (r *GResult[T]) TruncateWith(ws *compute.Workspace, k int) *GResult[T] {
 	if k >= r.Rank() {
 		return r
 	}
-	return &Result{
+	return &GResult[T]{
 		U: mat.ColSliceWith(ws, r.U, 0, k),
 		S: r.S[:k],
 		V: mat.ColSliceWith(ws, r.V, 0, k),
@@ -56,7 +68,7 @@ func (r *Result) TruncateWith(ws *compute.Workspace, k int) *Result {
 }
 
 // Reconstruct returns U diag(S) Vᵀ.
-func (r *Result) Reconstruct() *mat.Dense {
+func (r *GResult[T]) Reconstruct() *mat.GDense[T] {
 	us := r.U.Clone()
 	for i := 0; i < us.R; i++ {
 		row := us.Row(i)
@@ -80,9 +92,26 @@ func SetJacobiCutoff(n int) int {
 	return old
 }
 
-// relDropTol drops singular values below this multiple of the largest;
-// they are numerically zero and their singular vectors are noise.
-const relDropTol = 1e-12
+// relDropTol drops float64 singular values below this multiple of the
+// largest; they are numerically zero and their singular vectors are noise.
+// The float32 tier uses relDropTol32 (scaled to f32 machine epsilon).
+const (
+	relDropTol   = 1e-12
+	relDropTol32 = 1e-6
+)
+
+// jacobiTols returns the per-tier numerical thresholds: the off-diagonal
+// convergence tolerance of the rotation sweep and the relative drop
+// tolerance for retained singular values, each a small multiple of the
+// element type's machine epsilon (2⁻⁵² for float64, 2⁻²⁴ for float32).
+// The sizeof comparison folds per instantiation.
+func jacobiTols[T mat.Element]() (rotTol, dropTol float64) {
+	var z T
+	if unsafe.Sizeof(z) == 8 {
+		return 1e-15, relDropTol
+	}
+	return 1e-7, relDropTol32
+}
 
 // Compute returns the economy SVD of a. Small factors go through
 // one-sided Jacobi (high accuracy); larger ones through the method of
@@ -123,24 +152,26 @@ func jacobiSVD(a *mat.Dense) *Result { return jacobiSVDWS(nil, a, nil, false) }
 // Jacobi on R is the classical high-accuracy route (Drmač–Veselić).
 const qrPrecondRatio = 2
 
-// jacobiSVDWS is jacobiSVD with rotation scratch borrowed from ws. When
-// poolOut is set, the returned U and V are workspace storage too and the
-// caller must PutDense them back (used by the incremental updates, whose
-// factor matrices are recycled every step).
-func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut bool) *Result {
+// jacobiSVDWS is jacobiSVD with rotation scratch borrowed from ws, generic
+// over the element tier (the float32 instantiation is the screening SVD's
+// engine). When poolOut is set, the returned U and V are workspace storage
+// too and the caller must PutDense them back (used by the incremental
+// updates, whose factor matrices are recycled every step).
+func jacobiSVDWS[T mat.Element](e *compute.Engine, a *mat.GDense[T], ws *compute.Workspace, poolOut bool) *GResult[T] {
 	m, n := a.Dims()
+	rotTol, dropTol := jacobiTols[T]()
 	if m < n {
 		// Factor the transpose and swap factors: Aᵀ = U S Vᵀ ⇒ A = V S Uᵀ.
 		at := mat.TWith(ws, a)
 		r := jacobiSVDWS(e, at, ws, poolOut)
 		mat.PutDense(ws, at)
-		return &Result{U: r.V, S: r.S, V: r.U}
+		return &GResult[T]{U: r.V, S: r.S, V: r.U}
 	}
 	if n >= 2 && m >= qrPrecondRatio*n {
 		// Tall case: A = Q·R, SVD the small R, rotate Q.
 		qr := mat.QRFactorOn(e, ws, a)
 		rs := jacobiSVDWS(e, qr.R, ws, true)
-		var u *mat.Dense
+		var u *mat.GDense[T]
 		if poolOut {
 			u = mat.MulWith(e, ws, qr.Q, rs.U)
 		} else {
@@ -153,16 +184,18 @@ func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut
 			v = rs.V.Clone()
 			mat.PutDense(ws, rs.V)
 		}
-		return &Result{U: u, S: rs.S, V: v}
+		return &GResult[T]{U: u, S: rs.S, V: v}
 	}
 	w := mat.CloneWith(ws, a) // columns will be rotated into U·Σ
-	v := mat.GetDense(ws, n, n)
+	v := mat.GetDenseOf[T](ws, n, n)
 	for i := 0; i < n; i++ {
 		v.Data[i*n+i] = 1
 	}
 
 	const maxSweeps = 48
 	// Convergence: all column pairs orthogonal relative to their norms.
+	// Column dots accumulate in float64 in both tiers (cheap, and it keeps
+	// the f32 sweep's convergence test meaningful near its epsilon).
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		rotated := false
 		for p := 0; p < n-1; p++ {
@@ -170,14 +203,16 @@ func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut
 				var app, aqq, apq float64
 				for k := 0; k < m; k++ {
 					row := w.Data[k*n:]
-					app += row[p] * row[p]
-					aqq += row[q] * row[q]
-					apq += row[p] * row[q]
+					wp := float64(row[p])
+					wq := float64(row[q])
+					app += wp * wp
+					aqq += wq * wq
+					apq += wp * wq
 				}
 				if app == 0 || aqq == 0 {
 					continue
 				}
-				if math.Abs(apq) <= 1e-15*math.Sqrt(app*aqq) {
+				if math.Abs(apq) <= rotTol*math.Sqrt(app*aqq) {
 					continue
 				}
 				rotated = true
@@ -188,8 +223,8 @@ func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut
 				} else {
 					t = -1 / (-tau + math.Sqrt(1+tau*tau))
 				}
-				c := 1 / math.Sqrt(1+t*t)
-				s := t * c
+				c := T(1 / math.Sqrt(1+t*t))
+				s := T(t) * c
 				for k := 0; k < m; k++ {
 					row := w.Data[k*n:]
 					wp, wq := row[p], row[q]
@@ -218,7 +253,7 @@ func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut
 	for j := 0; j < n; j++ {
 		var s float64
 		for k := 0; k < m; k++ {
-			x := w.Data[k*n+j]
+			x := float64(w.Data[k*n+j])
 			s += x * x
 		}
 		tr[j] = triplet{math.Sqrt(s), j}
@@ -237,32 +272,32 @@ func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut
 
 	smax := tr[0].s
 	rank := 0
-	for rank < n && tr[rank].s > relDropTol*smax && tr[rank].s > 0 {
+	for rank < n && tr[rank].s > dropTol*smax && tr[rank].s > 0 {
 		rank++
 	}
 	if rank == 0 {
 		rank = 1 // zero matrix: keep a single zero triplet for shape sanity
 	}
 
-	var u, vv *mat.Dense
+	var u, vv *mat.GDense[T]
 	if poolOut {
-		u = mat.GetDense(ws, m, rank)
-		vv = mat.GetDense(ws, n, rank)
+		u = mat.GetDenseOf[T](ws, m, rank)
+		vv = mat.GetDenseOf[T](ws, n, rank)
 	} else {
-		u = mat.NewDense(m, rank)
-		vv = mat.NewDense(n, rank)
+		u = mat.NewOf[T](m, rank)
+		vv = mat.NewOf[T](n, rank)
 	}
-	ss := make([]float64, rank)
+	ss := make([]T, rank)
 	for jOut := 0; jOut < rank; jOut++ {
 		j := tr[jOut].idx
 		sv := tr[jOut].s
-		ss[jOut] = sv
+		ss[jOut] = T(sv)
 		inv := 0.0
 		if sv > 0 {
 			inv = 1 / sv
 		}
 		for k := 0; k < m; k++ {
-			u.Data[k*rank+jOut] = w.Data[k*n+j] * inv
+			u.Data[k*rank+jOut] = w.Data[k*n+j] * T(inv)
 		}
 		for k := 0; k < n; k++ {
 			vv.Data[k*rank+jOut] = v.Data[k*n+j]
@@ -270,7 +305,7 @@ func jacobiSVDWS(e *compute.Engine, a *mat.Dense, ws *compute.Workspace, poolOut
 	}
 	mat.PutDense(ws, w)
 	mat.PutDense(ws, v)
-	return &Result{U: u, S: ss, V: vv}
+	return &GResult[T]{U: u, S: ss, V: vv}
 }
 
 // snapshotSVD computes the economy SVD via the eigendecomposition of the
@@ -348,8 +383,9 @@ func scaleColsInv(m *mat.Dense, s []float64) {
 // SVHTRank returns the number of singular values that survive the
 // Gavish–Donoho optimal hard threshold τ = ω(β)·median(σ) for a matrix
 // with aspect ratio β = min(m,n)/max(m,n) and unknown noise level, using
-// the standard cubic approximation of ω.
-func SVHTRank(s []float64, m, n int) int {
+// the standard cubic approximation of ω. Generic so the screening tier
+// can apply the same decision rule to its float32 spectrum.
+func SVHTRank[T mat.Element](s []T, m, n int) int {
 	if len(s) == 0 {
 		return 0
 	}
@@ -358,7 +394,7 @@ func SVHTRank(s []float64, m, n int) int {
 	med := median(s)
 	tau := omega * med
 	rank := 0
-	for rank < len(s) && s[rank] > tau {
+	for rank < len(s) && float64(s[rank]) > tau {
 		rank++
 	}
 	if rank == 0 {
@@ -367,8 +403,11 @@ func SVHTRank(s []float64, m, n int) int {
 	return rank
 }
 
-func median(s []float64) float64 {
-	c := append([]float64(nil), s...)
+func median[T mat.Element](s []T) float64 {
+	c := make([]float64, len(s))
+	for i, v := range s {
+		c[i] = float64(v)
+	}
 	sort.Float64s(c)
 	n := len(c)
 	if n%2 == 1 {

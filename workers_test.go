@@ -65,7 +65,7 @@ func TestWorkersBoundsGoroutineCount(t *testing.T) {
 		}
 	}()
 
-	a := New(Options{
+	a := mustNew(t, Options{
 		DT: 1, MaxLevels: 5, MaxCycles: 2, UseSVHT: true,
 		Parallel: true, Workers: workers,
 		DriftThreshold: 1e-9, AsyncRecompute: true,
@@ -98,7 +98,7 @@ func TestWorkersBoundsGoroutineCount(t *testing.T) {
 func TestWorkersEquivalence(t *testing.T) {
 	series := workersTestSeries(48, 320, 5)
 	run := func(workers int) (float64, int) {
-		a := New(Options{
+		a := mustNew(t, Options{
 			DT: 1, MaxLevels: 4, MaxCycles: 2, UseSVHT: true,
 			Parallel: true, Workers: workers,
 		})
