@@ -39,6 +39,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "compute-engine worker lanes (0 = GOMAXPROCS)")
 		blkCols   = flag.Int("block-columns", 8, "incremental-SVD block-column width (1 = column at a time, 0 = one block per batch)")
 		precision = flag.String("precision", "float64", `arithmetic tier: "float64" or "mixed"`)
+		shards    = flag.Int("shards", 1, "row-shard count for the streaming level-1 SVD (1 = unsharded)")
 		outDir    = flag.String("out", ".", "output directory")
 	)
 	flag.Usage = func() {
@@ -71,8 +72,23 @@ Performance knobs and how they interact:
                      recomputes only the SVHT-kept directions in float64;
                      kept-mode sets match float64 within SVHT tolerance.
                      The streaming level-1 SVD (the part -block-columns
-                     chunks) always stays float64, so -precision and
-                     -block-columns compose independently.
+                     chunks) keeps float64 arithmetic, so -precision and
+                     -block-columns compose independently (with -shards
+                     above 1, see below).
+  -shards S          Row-partitions the streaming level-1 SVD across S
+                     shards: each shard owns a slice of the sensor rows
+                     while the small Σ/V factors replicate, and every
+                     partial-fit update costs one q×w projection
+                     all-reduce between shards — the in-process form of
+                     the multi-node layout. 1 (default) is the unsharded
+                     path, bit-stable with prior releases; S > 1 must not
+                     exceed the sensor count and reproduces the unsharded
+                     results to 1e-8. Composes with -block-columns (each
+                     chunk is one collective) and with -precision mixed,
+                     where collectives ship float32 — half the bytes, and
+                     agreement with the unsharded mixed run loosens to
+                     screening accuracy (2e-5). Shard work fans out over
+                     the same -workers lanes.
 
 Options:
 `)
@@ -107,7 +123,7 @@ Options:
 	a, err := imrdmd.New(imrdmd.Options{
 		DT: *dt, MaxLevels: *levels, MaxCycles: *cycles,
 		UseSVHT: *svht, Rank: *rank, Parallel: true, Workers: *workers,
-		BlockColumns: *blkCols, Precision: *precision,
+		BlockColumns: *blkCols, Precision: *precision, Shards: *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"imrdmd/internal/compute"
 	"imrdmd/internal/core"
 	"imrdmd/internal/mat"
+	"imrdmd/internal/telemetry"
 )
 
 // benchSnapshot is the perf-trajectory record emitted by -bench-json: the
@@ -19,7 +20,10 @@ import (
 // both precision tiers and streamed PartialFit), captured per PR so
 // regressions are diffable. Entries with an `_f32` / `_mixed` suffix run
 // the float32 screening tier; their GFLOPS against the f64 entries of the
-// same shape measure the mixed-precision speedup.
+// same shape measure the mixed-precision speedup. Entries with a
+// `_shardsN` suffix run the streaming episode with the level-1 SVD
+// row-partitioned across N shards (N=1 is the unsharded baseline of the
+// scaling sweep).
 type benchSnapshot struct {
 	GOOS         string                 `json:"goos"`
 	GOARCH       string                 `json:"goarch"`
@@ -139,12 +143,12 @@ func writeBenchJSON(path string, workers int) error {
 		DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true,
 		Parallel: true, Workers: workers, BlockColumns: blockColumns,
 	}
-	initial := data.ColSlice(0, 2000)
-	blocks := make([]*mat.Dense, 5)
-	for i := range blocks {
-		blocks[i] = data.ColSlice(2000+40*i, 2000+40*(i+1))
-	}
-	partialFit := func(opts core.Options) benchMetric {
+	partialFit := func(data *mat.Dense, opts core.Options) benchMetric {
+		initial := data.ColSlice(0, 2000)
+		blocks := make([]*mat.Dense, 5)
+		for i := range blocks {
+			blocks[i] = data.ColSlice(2000+40*i, 2000+40*(i+1))
+		}
 		return metricOf(testing.Benchmark(func(tb *testing.B) {
 			tb.ReportAllocs()
 			for i := 0; i < tb.N; i++ {
@@ -162,11 +166,36 @@ func writeBenchJSON(path string, workers int) error {
 			}
 		}))
 	}
-	snap.Benchmarks["partial_fit_sclog_t2000_x5"] = partialFit(opts)
+	snap.Benchmarks["partial_fit_sclog_t2000_x5"] = partialFit(data, opts)
 	// Same episode with the f32 screening tier on the subtree windows.
 	mixedOpts := opts
 	mixedOpts.Precision = core.PrecisionMixed
-	snap.Benchmarks["partial_fit_mixed_sclog_t2000_x5"] = partialFit(mixedOpts)
+	snap.Benchmarks["partial_fit_mixed_sclog_t2000_x5"] = partialFit(data, mixedOpts)
+
+	// Shard-scaling sweep on the SC Log and GPU Metrics scenarios: the
+	// same episode with the streaming level-1 SVD row-partitioned. The
+	// in-process reducer puts no wire on the clock, so these entries
+	// price the phase split itself (payload build, collective sum,
+	// replicated refactor, per-shard rotations) against the unsharded
+	// shards1 baseline.
+	gpuData := bench.GPUData(200, 2200, 1)
+	gpuOpts := opts
+	gpuOpts.DT = telemetry.PolarisGPU().SampleInterval
+	for _, s := range []int{1, 2, 4} {
+		if s == 1 {
+			// Shards=1 selects the identical unsharded path and options as
+			// the base sclog entry — record the sweep's baseline under its
+			// key without paying a duplicate episode.
+			snap.Benchmarks["partial_fit_sclog_shards1_t2000_x5"] = snap.Benchmarks["partial_fit_sclog_t2000_x5"]
+		} else {
+			so := opts
+			so.Shards = s
+			snap.Benchmarks[fmt.Sprintf("partial_fit_sclog_shards%d_t2000_x5", s)] = partialFit(data, so)
+		}
+		sg := gpuOpts
+		sg.Shards = s
+		snap.Benchmarks[fmt.Sprintf("partial_fit_gpu_shards%d_t2000_x5", s)] = partialFit(gpuData, sg)
+	}
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -28,6 +28,14 @@
 // SVHT decision keeps in float64 — roughly twice the kernel throughput
 // for the same kept-mode set (see DESIGN.md §6).
 //
+// Options.Shards row-partitions the streaming level-1 decomposition:
+// each shard owns a slice of the sensor rows while the small factors
+// replicate, and every PartialFit update costs exactly one projection
+// all-reduce between shards — the in-process form of the multi-node
+// scale-out, reproducing the unsharded results to 1e-8 (to screening
+// accuracy, 2e-5, when combined with "mixed" precision, whose
+// collectives ship float32 at half the bytes; see DESIGN.md §7).
+//
 // See the examples directory for complete monitoring scenarios and
 // cmd/paperbench for the harness that regenerates every table and figure
 // of the paper.

@@ -72,12 +72,27 @@ type Options struct {
 	// prior releases. PrecisionMixed screens each window's SVD in the
 	// float32 tier (half the memory traffic, twice the SIMD width) and
 	// recomputes only the directions the SVHT decision keeps in float64;
-	// the streaming level-1 SVD always stays float64. Kept-mode sets are
+	// the streaming level-1 SVD stays float64 except that with Shards > 1
+	// its reduce payloads ship as float32 (see Shards). Kept-mode sets are
 	// test-pinned to match float64 on the paper workloads; the decisions
 	// can diverge only when the decision-relevant spectrum sits below
 	// float32 visibility (~1e-6 of the window's largest singular value).
 	// See DESIGN.md §6 for when mixed mode is safe.
 	Precision string
+	// Shards row-partitions the streaming level-1 decomposition across
+	// this many shards: each shard owns a contiguous slice of the sensor
+	// rows while the small Σ/V factors replicate, and each PartialFit
+	// update costs exactly one q×w projection all-reduce between the
+	// shards — the in-process form of the multi-node scale-out (the
+	// transport seam is internal/shard's Reducer). 0 or 1 (the default)
+	// keeps the unsharded path, bit-identical to prior releases; counts
+	// above 1 must not exceed the sensor count (checked at InitialFit)
+	// and reproduce the unsharded decomposition to summation roundoff
+	// (test-pinned at 1e-8 on the paper workloads). Under PrecisionMixed
+	// the collective ships float32 payloads — half the bytes — and the
+	// agreement with the unsharded mixed run loosens to screening
+	// accuracy (test-pinned at 2e-5). See DESIGN.md §7.
+	Shards int
 
 	// DriftThreshold, when positive, recomputes previously fitted levels
 	// when the level-1 slow-mode drift exceeds it (Algorithm 1's
@@ -100,6 +115,7 @@ func (o Options) toCore() core.Options {
 		Workers:       o.Workers,
 		BlockColumns:  o.BlockColumns,
 		Precision:     o.Precision,
+		Shards:        o.Shards,
 	}
 }
 

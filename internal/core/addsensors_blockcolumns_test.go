@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"imrdmd/internal/bench"
+	"imrdmd/internal/core"
+)
+
+// TestAddSensorsBlockColumnsInterplay covers the interaction the features'
+// standalone tests miss: adding sensor rows BETWEEN block-column partial
+// fits. The row update rewrites the level-1 factors that subsequent block
+// updates rotate, so a block-size-dependent divergence would surface here
+// and nowhere else. As with the pure block-column test, Brand updates
+// compose exactly up to rank truncation, so the BlockColumns=8 stream
+// must match the column-at-a-time stream to 1e-8 after the row update —
+// in sensor count, mode count and reconstruction error.
+func TestAddSensorsBlockColumnsInterplay(t *testing.T) {
+	const (
+		p        = 96
+		extra    = 8
+		initialT = 1024
+		stride   = 64 // level-1 stride for T=1024 at the 4×-Nyquist default
+		batch    = 8 * stride
+	)
+	data := bench.SCLogData(p+extra, initialT+3*batch, 3)
+	top := data.RowSlice(0, p)
+	base := core.Options{
+		DT:        20,
+		MaxLevels: 4,
+		MaxCycles: 2,
+		Rank:      6, // fixed rank: keeps mode selection schedule-independent
+	}
+
+	run := func(blockCols int) *core.Incremental {
+		opts := base
+		opts.BlockColumns = blockCols
+		inc := core.NewIncremental(opts)
+		if err := inc.InitialFit(top.ColSlice(0, initialT)); err != nil {
+			t.Fatal(err)
+		}
+		// One block-column partial fit on the original sensors…
+		if _, err := inc.PartialFit(top.ColSlice(initialT, initialT+batch)); err != nil {
+			t.Fatal(err)
+		}
+		// …then the new sensors arrive with their history over everything
+		// absorbed so far…
+		if err := inc.AddSensors(data.RowSlice(p, p+extra).ColSlice(0, initialT+batch)); err != nil {
+			t.Fatal(err)
+		}
+		// …and the stream continues over the grown sensor dimension.
+		for c := initialT + batch; c < data.C; c += batch {
+			if _, err := inc.PartialFit(data.ColSlice(c, c+batch)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return inc
+	}
+
+	blocked := run(8)
+	colwise := run(1)
+
+	if blocked.Sensors() != p+extra || colwise.Sensors() != p+extra {
+		t.Fatalf("sensor counts %d / %d, want %d", blocked.Sensors(), colwise.Sensors(), p+extra)
+	}
+	if blocked.Cols() != data.C || colwise.Cols() != data.C {
+		t.Fatalf("absorbed %d / %d columns, want %d", blocked.Cols(), colwise.Cols(), data.C)
+	}
+	if bm, cm := blocked.Tree().NumModes(), colwise.Tree().NumModes(); bm != cm {
+		t.Fatalf("mode counts diverge across block sizes: %d vs %d", bm, cm)
+	}
+	errBlock, errCol := blocked.ReconError(), colwise.ReconError()
+	if d := math.Abs(errBlock - errCol); d > 1e-8 {
+		t.Fatalf("BlockColumns=8 with AddSensors deviates from column-at-a-time by %g (> 1e-8): %v vs %v",
+			d, errBlock, errCol)
+	}
+	// The fit must be meaningful for the comparison to mean anything.
+	if norm := data.FrobNorm(); errBlock > 0.5*norm {
+		t.Fatalf("reconstruction error %v not meaningfully below data norm %v", errBlock, norm)
+	}
+}

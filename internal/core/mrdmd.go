@@ -79,10 +79,25 @@ type Options struct {
 	// (default) runs everything in float64, bit-stable with prior
 	// releases; PrecisionMixed routes each window's first-pass SVD
 	// through the float32 screening tier and recomputes only the
-	// SVHT-kept directions in float64. The incremental level-1 SVD
-	// always stays in float64 — mixed mode affects per-window (subtree)
-	// decompositions only.
+	// SVHT-kept directions in float64. The incremental level-1 SVD's
+	// arithmetic stays float64 — mixed mode affects per-window (subtree)
+	// decompositions — except that when Shards > 1 the sharded update's
+	// reduce payload narrows to float32 (half the collective bytes; the
+	// refactor of the kept directions stays float64, and agreement with
+	// the unsharded mixed run is at screening accuracy, 2e-5).
 	Precision string
+	// Shards row-partitions the streaming level-1 SVD across this many
+	// shards (internal/shard): each shard owns a contiguous slice of the
+	// sensor rows of U while Σ/V replicate, and every PartialFit update
+	// costs one q×w projection all-reduce — the architecture of the
+	// multi-node scale-out, in-process for now. 0 or 1 (the default)
+	// keeps the unsharded path, bit-identical to prior releases; counts
+	// above 1 must not exceed the sensor-row count (checked at
+	// InitialFit). Shard results agree with the unsharded path to
+	// summation roundoff (test-pinned at 1e-8 on the paper workloads).
+	// Batch Decompose ignores the knob: only the persistent streaming
+	// state is sharded. See DESIGN.md §7.
+	Shards int
 	// Engine overrides the worker pool directly (advanced; takes
 	// precedence over Workers). Shared across calls, never closed here.
 	Engine *compute.Engine
@@ -105,6 +120,9 @@ func (o Options) Validate() error {
 	}
 	if o.BlockColumns < 0 {
 		return fmt.Errorf("core: Options.BlockColumns must be >= 0, got %d", o.BlockColumns)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("core: Options.Shards must be >= 0, got %d (0 or 1 = unsharded)", o.Shards)
 	}
 	switch o.Precision {
 	case "", PrecisionFloat64, PrecisionMixed:
@@ -134,6 +152,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Precision == "" {
 		o.Precision = PrecisionFloat64
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	return o
 }

@@ -94,7 +94,7 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 	y := mat.ColSliceWith(ws, snapshots, 1, t)
 	rank := s.Rank()
 	if opts.UseSVHT {
-		rank = svd.SVHTRank(s.S, s.U.R, s.V.R)
+		rank = svd.SVHTRankWith(ws, s.S, s.U.R, s.V.R)
 	}
 	if opts.Rank > 0 && opts.Rank < rank {
 		rank = opts.Rank

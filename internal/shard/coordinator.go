@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"fmt"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/svd"
+)
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Shards is the row-partition count (≥ 1). The seed matrix must have
+	// at least Shards rows.
+	Shards int
+	// MaxRank caps the retained rank after every update; 0 is unbounded.
+	MaxRank int
+	// Payload32 ships projection payloads as float32 — the mixed tier's
+	// half-width collective. The shard-local arithmetic and the replicated
+	// refactor stay float64 (the payload is the scarce resource; see
+	// DESIGN.md §7).
+	Payload32 bool
+	// Reducer is the transport; nil uses the in-process SumReducer.
+	Reducer Reducer
+	// Engine runs the shard fan-out and every shard's kernels; nil runs
+	// serially.
+	Engine *compute.Engine
+	// Workspace pools the scratch of all phases; nil creates a private one.
+	Workspace *compute.Workspace
+}
+
+// Coordinator maintains a row-sharded incremental SVD: shard s owns rows
+// [offs[s], offs[s+1]) of the left factor (views into one contiguous
+// buffer, so in-process the gather an exporting caller needs is free),
+// while Σ and V are replicated state the shared refactor phase refreshes
+// once per collective. It mirrors svd.Incremental's update semantics —
+// same block splitting, truncation rule and re-orthogonalization
+// schedule — so shard counts are interchangeable up to summation
+// roundoff.
+//
+// Like svd.Incremental, a Coordinator is not safe for concurrent updates;
+// the internal fan-out is (shards write disjoint row ranges and pool
+// access is locked), which is what the shards>1 race CI leg exercises.
+type Coordinator struct {
+	maxRank     int
+	dropTol     float64
+	reorthEvery int
+	payload32   bool
+
+	eng *compute.Engine
+	ws  *compute.Workspace
+	red Reducer
+
+	offs []int      // len Shards+1; shard s owns rows [offs[s], offs[s+1])
+	bigU *mat.Dense // m×q; shard row slices are views into this buffer
+	s    []float64  // replicated singular values
+	v    *mat.Dense // replicated right factor, t×q
+
+	updates int
+	stats   Stats
+}
+
+// NewCoordinator seeds the sharded decomposition from a first batch of
+// columns, splitting its rows into near-equal contiguous shards. The seed
+// factorization matches svd.NewIncrementalWith exactly (same engine-routed
+// SVD, same rank cap), so a Shards=1 coordinator starts bit-identical to
+// the unsharded path.
+func NewCoordinator(cfg Config, first *mat.Dense) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Config.Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if first.R < cfg.Shards {
+		return nil, fmt.Errorf("shard: %d shards need at least that many rows, got %d", cfg.Shards, first.R)
+	}
+	ws := cfg.Workspace
+	if ws == nil {
+		ws = compute.NewWorkspace()
+	}
+	r := svd.ComputeWith(cfg.Engine, ws, first)
+	if cfg.MaxRank > 0 && r.Rank() > cfg.MaxRank {
+		r = r.Truncate(cfg.MaxRank)
+	}
+	red := cfg.Reducer
+	if red == nil {
+		red = &SumReducer{}
+	}
+	m := first.R
+	offs := make([]int, cfg.Shards+1)
+	for i := 1; i <= cfg.Shards; i++ {
+		offs[i] = offs[i-1] + m/cfg.Shards
+		if i <= m%cfg.Shards {
+			offs[i]++
+		}
+	}
+	return &Coordinator{
+		maxRank:     cfg.MaxRank,
+		dropTol:     svd.DefaultDropTol,
+		reorthEvery: svd.DefaultReorthEvery,
+		payload32:   cfg.Payload32,
+		eng:         cfg.Engine,
+		ws:          ws,
+		red:         red,
+		offs:        offs,
+		bigU:        r.U,
+		s:           r.S,
+		v:           r.V,
+		stats:       Stats{Payload32: cfg.Payload32},
+	}, nil
+}
+
+// Shards returns the row-partition count.
+func (c *Coordinator) Shards() int { return len(c.offs) - 1 }
+
+// Rows returns m, the current sensor-row dimension.
+func (c *Coordinator) Rows() int { return c.bigU.R }
+
+// Cols returns t, the number of absorbed columns.
+func (c *Coordinator) Cols() int { return c.v.R }
+
+// Rank returns the current truncation rank q.
+func (c *Coordinator) Rank() int { return len(c.s) }
+
+// Stats snapshots the transport accounting.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// rowView returns rows [lo,hi) of m as a view into its storage.
+func rowView(m *mat.Dense, lo, hi int) *mat.Dense {
+	return &mat.Dense{R: hi - lo, C: m.C, Data: m.Data[lo*m.C : hi*m.C]}
+}
+
+// UpdateBlock absorbs cols in chunks of w columns (w <= 0 or >= cols.C
+// absorbs one block), on the same svd.EachUpdateBlock schedule as the
+// unsharded path — sharded and unsharded streams see identical block
+// sequences by construction.
+func (c *Coordinator) UpdateBlock(cols *mat.Dense, w int) {
+	if cols.C == 0 {
+		return // empty blocks are a no-op even with a degenerate row field
+	}
+	if cols.R != c.bigU.R {
+		panic(fmt.Sprintf("shard: Update row mismatch %d vs %d", cols.R, c.bigU.R))
+	}
+	svd.EachUpdateBlock(c.ws, cols, w, c.bigU.R, c.update)
+}
+
+// Update absorbs a new block of columns (m×k), splitting blocks wider than
+// the row count exactly as the unsharded path does.
+func (c *Coordinator) Update(cols *mat.Dense) {
+	c.UpdateBlock(cols, 0)
+}
+
+func (c *Coordinator) update(blk *mat.Dense) {
+	q, w := len(c.s), blk.C
+	n := c.Shards()
+	elems := svd.BlockPayloadLen(q, w)
+
+	// Shard-local projection phase, fanned out on the engine: each shard
+	// reads only its own row slices.
+	parts := make([][]float64, n)
+	tasks := make([]func(), n)
+	for sh := 0; sh < n; sh++ {
+		sh := sh
+		parts[sh] = c.ws.GetF64(elems)
+		tasks[sh] = func() {
+			u := rowView(c.bigU, c.offs[sh], c.offs[sh+1])
+			cs := rowView(blk, c.offs[sh], c.offs[sh+1])
+			svd.ShardBlockPayload(c.eng, c.ws, u, cs, parts[sh])
+		}
+	}
+	c.eng.Do(tasks...)
+
+	// The ONE collective of this update.
+	payload := c.reduce(parts)
+	c.stats.Updates++
+	c.stats.Reduces++
+	c.stats.LastPayloadElems = elems
+
+	// Replicated refactor phase: runs once here; on a multi-node
+	// deployment every node runs it redundantly on the identical reduced
+	// payload (it is deterministic), which is why nothing else crosses the
+	// seam.
+	plan := svd.PlanBlockUpdate(c.eng, c.ws, c.s, c.v, payload, w, c.maxRank, c.dropTol, svd.GramEps(c.payload32))
+	c.ws.PutF64(payload)
+
+	// Shard-local rotation phase into a fresh contiguous buffer; shards
+	// write disjoint row ranges.
+	r := len(plan.NewS)
+	newBig := mat.GetDenseRaw(c.ws, c.bigU.R, r)
+	for sh := 0; sh < n; sh++ {
+		sh := sh
+		tasks[sh] = func() {
+			dst := rowView(newBig, c.offs[sh], c.offs[sh+1])
+			u := rowView(c.bigU, c.offs[sh], c.offs[sh+1])
+			cs := rowView(blk, c.offs[sh], c.offs[sh+1])
+			svd.ApplyShardBlock(c.eng, c.ws, dst, u, cs, plan)
+		}
+	}
+	c.eng.Do(tasks...)
+	plan.Release(c.ws)
+	c.install(newBig, plan.NewS, plan.NewV)
+
+	c.updates++
+	if c.reorthEvery > 0 && c.updates%c.reorthEvery == 0 {
+		c.reorthogonalize()
+	}
+}
+
+// reduce runs the collective in the configured payload tier and returns
+// the summed payload as float64 (workspace-borrowed; caller puts it back).
+// parts are consumed (returned to the pool).
+func (c *Coordinator) reduce(parts [][]float64) []float64 {
+	n := len(parts)
+	elems := len(parts[0])
+	if !c.payload32 {
+		c.red.AllReduce(parts)
+		c.stats.LastPayloadBytes = 8 * elems
+		c.stats.TotalBytes += int64(8 * elems * n)
+		sum := parts[0]
+		for _, p := range parts[1:] {
+			c.ws.PutF64(p)
+		}
+		return sum
+	}
+	// Mixed tier: narrow each shard's payload to float32, ship the
+	// half-width collective, widen the sum for the float64 refactor of the
+	// kept directions.
+	parts32 := make([][]float32, n)
+	for i, p := range parts {
+		p32 := c.ws.GetF32(elems)
+		for j, v := range p {
+			p32[j] = float32(v)
+		}
+		parts32[i] = p32
+		c.ws.PutF64(p)
+	}
+	c.red.AllReduce32(parts32)
+	c.stats.LastPayloadBytes = 4 * elems
+	c.stats.TotalBytes += int64(4 * elems * n)
+	sum := c.ws.GetF64(elems)
+	for j, v := range parts32[0] {
+		sum[j] = float64(v)
+	}
+	for _, p := range parts32 {
+		c.ws.PutF32(p)
+	}
+	return sum
+}
+
+// install swaps in the refreshed factors, recycling the old storage.
+func (c *Coordinator) install(newBig *mat.Dense, newS []float64, newV *mat.Dense) {
+	mat.PutDense(c.ws, c.bigU)
+	mat.PutDense(c.ws, c.v)
+	c.bigU, c.s, c.v = newBig, newS, newV
+}
+
+// reorthogonalize restores exact column orthonormality of the sharded U —
+// the same every-8-updates schedule as the unsharded path — with one q×q
+// Gram collective (always float64: it is amortized, and the refresh is
+// the accuracy anchor of long streams).
+func (c *Coordinator) reorthogonalize() {
+	q := len(c.s)
+	n := c.Shards()
+	elems := svd.GramPayloadLen(q)
+	parts := make([][]float64, n)
+	tasks := make([]func(), n)
+	for sh := 0; sh < n; sh++ {
+		sh := sh
+		parts[sh] = c.ws.GetF64(elems)
+		tasks[sh] = func() {
+			svd.ShardGramPayload(c.eng, c.ws, rowView(c.bigU, c.offs[sh], c.offs[sh+1]), parts[sh])
+		}
+	}
+	c.eng.Do(tasks...)
+	c.red.AllReduce(parts)
+	c.stats.ReorthReduces++
+	c.stats.TotalBytes += int64(8 * elems * n)
+	payload := parts[0]
+	for _, p := range parts[1:] {
+		c.ws.PutF64(p)
+	}
+
+	plan := svd.PlanShardReorth(c.eng, c.ws, c.s, c.v, payload, c.maxRank, c.dropTol)
+	c.ws.PutF64(payload)
+	newBig := mat.GetDenseRaw(c.ws, c.bigU.R, len(plan.NewS))
+	for sh := 0; sh < n; sh++ {
+		sh := sh
+		tasks[sh] = func() {
+			svd.ApplyShardReorth(c.eng, rowView(newBig, c.offs[sh], c.offs[sh+1]), rowView(c.bigU, c.offs[sh], c.offs[sh+1]), plan)
+		}
+	}
+	c.eng.Do(tasks...)
+	plan.Release(c.ws)
+	c.install(newBig, plan.NewS, plan.NewV)
+}
+
+// AddRows extends the decomposition with new sensor rows carrying their
+// full column history (the AddSensors path). The new rows are appended to
+// the last shard, keeping the global row order identical to the unsharded
+// path; the owner-local residual factorization and the replicated
+// refactor run centrally here — in wire terms the owner broadcasts
+// [L | Rhᵀ] and the t×k residual basis, a structural event counted
+// separately from the per-update collective.
+func (c *Coordinator) AddRows(b *mat.Dense) {
+	if b.C != c.v.R {
+		panic(fmt.Sprintf("shard: AddRows column mismatch %d vs %d", b.C, c.v.R))
+	}
+	if b.R == 0 {
+		return
+	}
+	svd.EachRowBlock(b, c.addRows)
+}
+
+func (c *Coordinator) addRows(b *mat.Dense) {
+	q := len(c.s)
+	k := b.R
+	t := c.v.R
+	n := c.Shards()
+	plan := svd.PlanShardRowUpdate(c.eng, c.ws, c.s, c.v, b, c.maxRank, c.dropTol)
+	c.stats.RowBroadcasts++
+	c.stats.TotalBytes += int64(8 * (k*q + k*k + t*k))
+
+	r := len(plan.NewS)
+	m := c.bigU.R
+	newBig := mat.GetDenseRaw(c.ws, m+k, r)
+	tasks := make([]func(), n)
+	for sh := 0; sh < n; sh++ {
+		sh := sh
+		tasks[sh] = func() {
+			dst := rowView(newBig, c.offs[sh], c.offs[sh+1])
+			mat.MulIntoWith(c.eng, dst, rowView(c.bigU, c.offs[sh], c.offs[sh+1]), plan.UA)
+		}
+	}
+	c.eng.Do(tasks...)
+	copy(newBig.Data[m*r:], plan.NewRows.Data)
+	c.offs[n] += k
+	plan.Release(c.ws)
+	c.install(newBig, plan.NewS, plan.NewV)
+
+	c.updates++
+	if c.reorthEvery > 0 && c.updates%c.reorthEvery == 0 {
+		c.reorthogonalize()
+	}
+}
+
+// Result snapshots the decomposition with deep copies, independent of the
+// pooled internals.
+func (c *Coordinator) Result() *svd.Result {
+	return &svd.Result{U: c.bigU.Clone(), S: append([]float64(nil), c.s...), V: c.v.Clone()}
+}
+
+// ResultView returns the live factors without copying — in-process the
+// row-shards are views into one contiguous buffer, so the gather a
+// multi-node deployment would pay is free. The view is read-only and
+// valid only until the next Update/AddRows.
+func (c *Coordinator) ResultView() *svd.Result {
+	return &svd.Result{U: c.bigU, S: c.s, V: c.v}
+}

@@ -1,0 +1,108 @@
+// Package shard partitions the running I-mrDMD decomposition across S
+// row-shards: each shard owns a contiguous slice of the sensor rows (its
+// slice of the left factor U and of every incoming column block) while the
+// small factors Σ and V replicate, following the row-separability of the
+// Brand update and the mrDMD recursion the paper observes. One update
+// needs exactly one collective — the q×w projection (with its w×w Gram
+// rider) summed across shards — which is the entire coordination payload
+// a multi-node deployment would put on the wire.
+//
+// The math of the shard-local and replicated phases lives in internal/svd
+// (sharded.go); this package owns the orchestration: the Reducer transport
+// seam and the Coordinator that fans blocks out to the shards on the
+// shared compute engine. The first Reducer is an in-process sum; swapping
+// in a wire transport (MPI-style allreduce, gRPC ring) is the multi-node
+// follow-up and touches nothing outside this package. See DESIGN.md §7.
+package shard
+
+import "sync"
+
+// Reducer is the transport seam of the sharded decomposition: the single
+// collective each update performs. AllReduce element-wise sums the shard
+// payloads — parts[i] is shard i's contribution — and leaves the sum in
+// every shard's buffer, exactly the semantics of a wire all-reduce. All
+// payloads have equal length.
+type Reducer interface {
+	AllReduce(parts [][]float64)
+	// AllReduce32 is the float32 collective of the mixed precision tier:
+	// the same payload shape at half the bytes (see Options.Precision).
+	AllReduce32(parts [][]float32)
+}
+
+// SumReducer is the in-process Reducer: a plain element-wise sum fanned
+// back to every shard. It is the reference implementation a wire
+// transport must be observationally equivalent to (up to floating-point
+// summation order, which a deterministic ring or tree fixes).
+type SumReducer struct {
+	mu    sync.Mutex
+	calls int
+}
+
+// sumToAll is the reference collective in either payload tier: accumulate
+// every shard's contribution into the first buffer, then fan the sum back.
+func sumToAll[T float32 | float64](parts [][]T) {
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		for i, v := range p {
+			acc[i] += v
+		}
+	}
+	for _, p := range parts[1:] {
+		copy(p, acc)
+	}
+}
+
+// AllReduce sums parts into every buffer.
+func (r *SumReducer) AllReduce(parts [][]float64) {
+	if len(parts) == 0 {
+		return
+	}
+	sumToAll(parts)
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+}
+
+// AllReduce32 sums float32 parts into every buffer.
+func (r *SumReducer) AllReduce32(parts [][]float32) {
+	if len(parts) == 0 {
+		return
+	}
+	sumToAll(parts)
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+}
+
+// Calls returns how many collectives the reducer has performed.
+func (r *SumReducer) Calls() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+// Stats records what the sharded decomposition has put through its
+// transport seam — the quantities the multi-node scale story is priced
+// in. The per-update payload test pins Reduces == Updates and
+// LastPayloadElems == (q+w)·w.
+type Stats struct {
+	// Updates counts absorbed column-block updates.
+	Updates int
+	// Reduces counts projection collectives — exactly one per update.
+	Reduces int
+	// ReorthReduces counts the periodic q×q re-orthogonalization
+	// collectives (one every reorthEvery updates, amortized).
+	ReorthReduces int
+	// RowBroadcasts counts structural row-update (new sensor) events.
+	RowBroadcasts int
+	// LastPayloadElems is the element count of the most recent projection
+	// payload ((q+w)·w) and LastPayloadBytes its transport size — 4 bytes
+	// per element under the float32 tier, 8 otherwise.
+	LastPayloadElems int
+	LastPayloadBytes int
+	// TotalBytes accumulates every collective's and broadcast's payload
+	// bytes over the coordinator's lifetime.
+	TotalBytes int64
+	// Payload32 reports whether projection payloads ship as float32.
+	Payload32 bool
+}

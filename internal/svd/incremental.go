@@ -54,6 +54,15 @@ func NewIncremental(first *mat.Dense, maxRank int) *Incremental {
 	return NewIncrementalWith(compute.Default(), nil, first, maxRank)
 }
 
+// DefaultDropTol and DefaultReorthEvery are the incremental update
+// defaults both the unsharded constructor and shard.Coordinator install —
+// shared so the two paths cannot drift onto different truncation or
+// re-orthogonalization schedules (their agreement is test-pinned).
+const (
+	DefaultDropTol     = 1e-10
+	DefaultReorthEvery = 8
+)
+
 // NewIncrementalWith seeds the running SVD with an explicit engine and
 // workspace (nil ws creates a private one; nil eng runs serially).
 func NewIncrementalWith(eng *compute.Engine, ws *compute.Workspace, first *mat.Dense, maxRank int) *Incremental {
@@ -69,8 +78,8 @@ func NewIncrementalWith(eng *compute.Engine, ws *compute.Workspace, first *mat.D
 		S:           r.S,
 		V:           r.V,
 		MaxRank:     maxRank,
-		DropTol:     1e-10,
-		reorthEvery: 8,
+		DropTol:     DefaultDropTol,
+		reorthEvery: DefaultReorthEvery,
 		eng:         eng,
 		ws:          ws,
 	}
@@ -103,45 +112,18 @@ func (inc *Incremental) WorkspaceStats() (gets, hits int) { return inc.ws.Stats(
 // w <= 0, or w >= c.C, absorbs c as one block — identical to Update.
 func (inc *Incremental) UpdateBlock(c *mat.Dense, w int) {
 	if c.C == 0 {
-		return
+		return // empty blocks are a no-op even with a degenerate row field
 	}
-	if w <= 0 || w >= c.C {
-		inc.Update(c)
-		return
+	if c.R != inc.U.R {
+		panic(fmt.Sprintf("svd: Incremental.Update row mismatch %d vs %d", c.R, inc.U.R))
 	}
-	for j := 0; j < c.C; j += w {
-		hi := j + w
-		if hi > c.C {
-			hi = c.C
-		}
-		blk := mat.ColSliceWith(inc.ws, c, j, hi)
-		inc.Update(blk)
-		mat.PutDense(inc.ws, blk)
-	}
+	EachUpdateBlock(inc.ws, c, w, inc.U.R, inc.update)
 }
 
 // Update absorbs a new block of columns c (m×k). Blocks wider than the
 // row count are split so the residual QR stays tall.
 func (inc *Incremental) Update(c *mat.Dense) {
-	if c.R != inc.U.R {
-		panic(fmt.Sprintf("svd: Incremental.Update row mismatch %d vs %d", c.R, inc.U.R))
-	}
-	if c.C == 0 {
-		return
-	}
-	if c.C > c.R {
-		for j := 0; j < c.C; j += c.R {
-			hi := j + c.R
-			if hi > c.C {
-				hi = c.C
-			}
-			blk := mat.ColSliceWith(inc.ws, c, j, hi)
-			inc.update(blk)
-			mat.PutDense(inc.ws, blk)
-		}
-		return
-	}
-	inc.update(c)
+	inc.UpdateBlock(c, 0)
 }
 
 func (inc *Incremental) update(c *mat.Dense) {
@@ -214,22 +196,10 @@ func (inc *Incremental) replaceFactors(u *mat.Dense, s []float64, v *mat.Dense) 
 	inc.U, inc.S, inc.V = u, s, v
 }
 
-// truncate applies MaxRank and DropTol.
+// truncate applies MaxRank and DropTol (the shared truncRank rule, so the
+// sharded plans and this path decide identically).
 func (inc *Incremental) truncate() {
-	rank := len(inc.S)
-	if inc.MaxRank > 0 && rank > inc.MaxRank {
-		rank = inc.MaxRank
-	}
-	tol := inc.DropTol
-	if tol <= 0 {
-		tol = 1e-10
-	}
-	if len(inc.S) > 0 {
-		floor := tol * inc.S[0]
-		for rank > 1 && inc.S[rank-1] <= floor {
-			rank--
-		}
-	}
+	rank := truncRank(inc.S, inc.MaxRank, inc.DropTol)
 	if rank == len(inc.S) {
 		return
 	}

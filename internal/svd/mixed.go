@@ -111,7 +111,7 @@ func MixedCompute(e *compute.Engine, ws *compute.Workspace, a *mat.Dense, useSVH
 	// The truncation decision, on the f32 spectrum.
 	rank := len(s32)
 	if useSVHT {
-		rank = SVHTRank(s32, m, n)
+		rank = SVHTRankWith(ws, s32, m, n)
 	}
 	if rankCap > 0 && rankCap < rank {
 		rank = rankCap

@@ -179,7 +179,7 @@ func TestScreeningNeverDropsKeptWindow(t *testing.T) {
 		}
 		beta := float64(min(m, n)) / float64(max(m, n))
 		omega := 0.56*beta*beta*beta - 0.95*beta*beta + 1.82*beta + 1.43
-		tau := omega * median(want.S)
+		tau := omega * medianWith(nil, want.S)
 		for _, s := range want.S {
 			if s > tau/1.05 && s < tau*1.05 {
 				return true // borderline SVHT call

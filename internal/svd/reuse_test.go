@@ -102,3 +102,39 @@ func TestIncrementalMixedUpdatesMatchBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestSVHTRankWithPoolsScratch pins the satellite fix: the SVHT decision's
+// median scratch comes from the workspace pool (warm calls are
+// allocation-free) and the pooled path decides identically to the
+// allocating one.
+func TestSVHTRankWithPoolsScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := make([]float64, 40)
+	for i := range s {
+		s[i] = math.Abs(rng.NormFloat64()) * float64(len(s)-i)
+	}
+	// Descending spectrum, as every caller provides.
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1] {
+			s[i] = s[i-1]
+		}
+	}
+	ws := compute.NewWorkspace()
+	want := SVHTRank(s, 200, 41)
+	if got := SVHTRankWith(ws, s, 200, 41); got != want {
+		t.Fatalf("pooled SVHT rank %d, allocating path %d", got, want)
+	}
+	gets0, hits0 := ws.Stats()
+	if gets0 == 0 {
+		t.Fatal("SVHTRankWith did not draw scratch from the workspace")
+	}
+	for i := 0; i < 8; i++ {
+		if got := SVHTRankWith(ws, s, 200, 41); got != want {
+			t.Fatalf("warm call %d: rank %d, want %d", i, got, want)
+		}
+	}
+	gets, hits := ws.Stats()
+	if hits-hits0 != gets-gets0 {
+		t.Fatalf("warm SVHT calls missed the pool: %d gets, %d hits", gets-gets0, hits-hits0)
+	}
+}

@@ -17,8 +17,11 @@ import (
 //	                                         | (BV)   Rhᵀ|
 //
 // where Hᵀ = B − (BV)Vᵀ is the out-of-subspace residual and Qh Rh its
-// (transposed) QR factorization. Like Update, every intermediate is
-// borrowed from the workspace and the replaced factors are recycled.
+// (transposed) QR factorization. The replicated math lives in
+// PlanShardRowUpdate (sharded.go) — this path is its one-shard
+// application: rotate the existing rows and append the new ones at the
+// bottom. Like Update, every intermediate is borrowed from the workspace
+// and the replaced factors are recycled.
 func (inc *Incremental) AddRows(b *mat.Dense) {
 	if b.C != inc.V.R {
 		panic(fmt.Sprintf("svd: AddRows column mismatch %d vs %d", b.C, inc.V.R))
@@ -26,90 +29,20 @@ func (inc *Incremental) AddRows(b *mat.Dense) {
 	if b.R == 0 {
 		return
 	}
-	// Row blocks taller than the column count are split so the residual
-	// QR stays tall.
-	if b.R > b.C {
-		for i := 0; i < b.R; i += b.C {
-			hi := i + b.C
-			if hi > b.R {
-				hi = b.R
-			}
-			inc.addRows(b.RowSlice(i, hi))
-		}
-		return
-	}
-	inc.addRows(b)
+	EachRowBlock(b, inc.addRows)
 }
 
 func (inc *Incremental) addRows(b *mat.Dense) {
-	q := inc.Rank()
-	k := b.R
-	t := inc.V.R
 	ws := inc.ws
-
-	l := mat.MulWith(inc.eng, ws, b, inc.V) // k×q
-	// H = B − L Vᵀ (k×t residual rows), built without materializing Vᵀ:
-	// H[i,:] = B[i,:] − Σ_j L[i,j]·V[:,j]ᵀ.
-	h := mat.CloneWith(ws, b)
-	for i := 0; i < k; i++ {
-		hrow := h.Row(i)
-		lrow := l.Row(i)
-		for j := 0; j < q; j++ {
-			lij := lrow[j]
-			if lij == 0 {
-				continue
-			}
-			for r := 0; r < t; r++ {
-				hrow[r] -= lij * inc.V.Data[r*q+j]
-			}
-		}
-	}
-	ht := mat.TWith(ws, h) // t×k
-	mat.PutDense(ws, h)
-	qr := mat.QRFactorOn(inc.eng, ws, ht) // Qh (t×k), Rh (k×k); Hᵀ = Qh Rh
-	mat.PutDense(ws, ht)
-
-	// Augmented core ((q+k)×(q+k)): [Σ 0; L Rhᵀ].
-	kk := mat.GetDense(ws, q+k, q+k)
-	for i := 0; i < q; i++ {
-		kk.Set(i, i, inc.S[i])
-	}
-	for i := 0; i < k; i++ {
-		copy(kk.Row(q + i)[:q], l.Row(i))
-		for j := 0; j < k; j++ {
-			kk.Set(q+i, q+j, qr.R.At(j, i))
-		}
-	}
-	core := jacobiSVDWS(inc.eng, kk, ws, true)
-	mat.PutDense(ws, kk)
-	mat.PutDense(ws, l)
-
-	// U ← [[U 0];[0 I]]·Uc (rows grow by k).
+	plan := PlanShardRowUpdate(inc.eng, ws, inc.S, inc.V, b, inc.MaxRank, inc.DropTol)
+	r := len(plan.NewS)
 	m := inc.U.R
-	uext := mat.GetDense(ws, m+k, q+k)
-	for i := 0; i < m; i++ {
-		copy(uext.Row(i)[:q], inc.U.Row(i))
-	}
-	for i := 0; i < k; i++ {
-		uext.Set(m+i, q+i, 1)
-	}
-	newU := mat.MulWith(inc.eng, ws, uext, core.U)
-	mat.PutDense(ws, uext)
-
-	// V ← [V Qh]·Vc. Raw borrow: both column blocks are fully copied.
-	vq := mat.GetDenseRaw(ws, t, q+k)
-	for i := 0; i < t; i++ {
-		copy(vq.Row(i)[:q], inc.V.Row(i))
-		copy(vq.Row(i)[q:], qr.Q.Row(i))
-	}
-	newV := mat.MulWith(inc.eng, ws, vq, core.V)
-	mat.PutDense(ws, vq)
-	qr.Release(ws)
-	mat.PutDense(ws, core.U)
-	mat.PutDense(ws, core.V)
-
-	inc.replaceFactors(newU, core.S, newV)
-	inc.truncate()
+	newU := mat.GetDenseRaw(ws, m+b.R, r)
+	top := &mat.Dense{R: m, C: r, Data: newU.Data[:m*r]}
+	mat.MulIntoWith(inc.eng, top, inc.U, plan.UA)
+	copy(newU.Data[m*r:], plan.NewRows.Data)
+	plan.Release(ws)
+	inc.replaceFactors(newU, plan.NewS, plan.NewV)
 	inc.updates++
 	if inc.reorthEvery > 0 && inc.updates%inc.reorthEvery == 0 {
 		inc.reorthogonalize()

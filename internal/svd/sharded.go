@@ -1,0 +1,478 @@
+package svd
+
+import (
+	"fmt"
+	"math"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/eig"
+	"imrdmd/internal/mat"
+)
+
+// This file splits the Brand-style incremental updates of incremental.go
+// and rowupdate.go into shard-local and replicated phases, so a running
+// decomposition can be row-partitioned across S shards (the ROADMAP's
+// multi-node sharding item, in-process for now — internal/shard owns the
+// orchestration and the transport seam).
+//
+// The partition follows the paper's row-separability observation: U shards
+// by sensor rows while Σ and V replicate. For a column block C (m×w) the
+// update factors into
+//
+//	shard-local:  P_s = [U_sᵀC_s ; C_sᵀC_s]   — the q×w projection with its
+//	                                            w×w Gram rider
+//	all-reduce:   P = Σ_s P_s                 — the ONE collective per update
+//	replicated:   residual Gram Gh = CᵀC − LᵀL (orthonormal U makes the
+//	              cross terms vanish), its eigen square root R, the
+//	              augmented core K = [diag(Σ) L; 0 R], its small SVD, the
+//	              rank decision, and the Σ/V refresh
+//	shard-local:  U_s ← U_s·A + C_s·B         — two GEMMs per shard, with
+//	              A, B derived from the core rotation (no H materialized)
+//
+// Equivalence with the unsharded path: the single-shard update QR-factors
+// H = C − U L by MGS2 while the sharded one takes the eigen square root of
+// H's Gram — the two R factors differ by an orthogonal left factor Ω, the
+// core matrices by diag(I, Ω), and Ω cancels exactly in the rotated bases
+// (J₂ = H R₂⁻¹ absorbs Ω⁻¹). So in exact arithmetic the sharded update
+// reproduces the unsharded factors identically; in floating point they
+// differ by roundoff amplified by the residual's conditioning, which the
+// sharded_test.go equivalence suites and the core-level scenario tests
+// bound at 1e-8. See DESIGN.md §7.
+
+// EachUpdateBlock partitions c into the exact block schedule the
+// incremental updates absorb and invokes fn on each block in order:
+// chunks of w columns (w ≤ 0, or w ≥ c.C, is a single chunk), each
+// further split so no block is wider than maxW — the row count, keeping
+// the residual QR tall. Chunk copies are workspace-borrowed and recycled;
+// when the schedule is a single block, c itself is passed through without
+// copying. Shared by svd.Incremental and shard.Coordinator so sharded and
+// unsharded streams absorb identical block sequences.
+func EachUpdateBlock(ws *compute.Workspace, c *mat.Dense, w, maxW int, fn func(*mat.Dense)) {
+	if c.C == 0 {
+		return
+	}
+	if w <= 0 || w > c.C {
+		w = c.C
+	}
+	for j := 0; j < c.C; j += w {
+		hi := min(j+w, c.C)
+		blk, copied := c, false
+		if j != 0 || hi != c.C {
+			blk = mat.ColSliceWith(ws, c, j, hi)
+			copied = true
+		}
+		if blk.C > maxW {
+			for i := 0; i < blk.C; i += maxW {
+				sub := mat.ColSliceWith(ws, blk, i, min(i+maxW, blk.C))
+				fn(sub)
+				mat.PutDense(ws, sub)
+			}
+		} else {
+			fn(blk)
+		}
+		if copied {
+			mat.PutDense(ws, blk)
+		}
+	}
+}
+
+// EachRowBlock partitions a row (new-sensor) block into the schedule
+// AddRows absorbs — chunks of at most b.C rows, keeping the transposed
+// residual QR tall — and invokes fn on each chunk in order. Shared by
+// svd.Incremental and shard.Coordinator so both paths absorb identical
+// row sequences.
+func EachRowBlock(b *mat.Dense, fn func(*mat.Dense)) {
+	if b.R > b.C {
+		for i := 0; i < b.R; i += b.C {
+			fn(b.RowSlice(i, min(i+b.C, b.R)))
+		}
+		return
+	}
+	fn(b)
+}
+
+// BlockPayloadLen returns the element count of a sharded column-block
+// update's reduce payload for rank q and block width w: the q×w projection
+// U_sᵀC_s stacked over the w×w Gram rider C_sᵀC_s.
+func BlockPayloadLen(q, w int) int { return (q + w) * w }
+
+// GramPayloadLen returns the element count of a sharded
+// re-orthogonalization's reduce payload: the q×q Gram of the shard's U
+// rows.
+func GramPayloadLen(q int) int { return q * q }
+
+// ShardBlockPayload computes one shard's contribution to the column-block
+// update collective into dst (length BlockPayloadLen(q, w), row-major):
+// rows [0,q) hold L_s = U_sᵀC_s, rows [q,q+w) hold G_s = C_sᵀC_s. u is the
+// shard's row slice of U (m_s×q) and c the shard's rows of the incoming
+// block (m_s×w). Pure shard-local reads; safe to run concurrently across
+// shards.
+func ShardBlockPayload(e *compute.Engine, ws *compute.Workspace, u, c *mat.Dense, dst []float64) {
+	q, w := u.C, c.C
+	if len(dst) != BlockPayloadLen(q, w) {
+		panic(fmt.Sprintf("svd: ShardBlockPayload dst length %d, want %d", len(dst), BlockPayloadLen(q, w)))
+	}
+	l := mat.MulTWith(e, ws, u, c) // q×w
+	copy(dst[:q*w], l.Data)
+	mat.PutDense(ws, l)
+	g := mat.GramWith(e, ws, c, true) // w×w
+	copy(dst[q*w:], g.Data)
+	mat.PutDense(ws, g)
+}
+
+// ShardGramPayload computes one shard's contribution to the
+// re-orthogonalization collective into dst (length GramPayloadLen(q)):
+// U_sᵀU_s.
+func ShardGramPayload(e *compute.Engine, ws *compute.Workspace, u *mat.Dense, dst []float64) {
+	q := u.C
+	if len(dst) != GramPayloadLen(q) {
+		panic(fmt.Sprintf("svd: ShardGramPayload dst length %d, want %d", len(dst), GramPayloadLen(q)))
+	}
+	g := mat.GramWith(e, ws, u, true)
+	copy(dst, g.Data)
+	mat.PutDense(ws, g)
+}
+
+// BlockPlan is the replicated outcome of one sharded column-block update:
+// the rotation every shard applies to its row slice (U_s ← U_s·UA + C_s·CB)
+// plus the refreshed replicated Σ and V. UA and CB are workspace-borrowed —
+// Release them after the shards have applied; NewV's ownership transfers to
+// the caller (it replaces the previous replicated V).
+type BlockPlan struct {
+	UA   *mat.Dense // q×r coefficient on the shard's current U rows
+	CB   *mat.Dense // w×r coefficient on the shard's incoming block rows
+	NewS []float64  // r refreshed singular values
+	NewV *mat.Dense // (t+w)×r refreshed right factor
+}
+
+// Release returns the plan's shard-rotation factors to the pool (NewV is
+// not touched — the caller installed it as the live V).
+func (p *BlockPlan) Release(ws *compute.Workspace) {
+	mat.PutDense(ws, p.UA)
+	mat.PutDense(ws, p.CB)
+}
+
+// gramEpsF64 and gramEpsF32 are the relative clamp applied to residual
+// Gram eigenvalues, per payload tier: eigenvalues below clamp·tr(G) are
+// indistinguishable from the payload's rounding noise (ε₆₄ ≈ 2e-16,
+// ε₃₂ ≈ 1.2e-7, with headroom for the Ĝ − LᵀL cancellation) and their
+// directions are dropped from the residual basis rather than normalized
+// into noise.
+const (
+	gramEpsF64 = 1e-13
+	gramEpsF32 = 3e-7
+)
+
+// GramEps returns the residual-Gram clamp for the given payload tier
+// (payload32 = the mixed tier's float32 collective).
+func GramEps(payload32 bool) float64 {
+	if payload32 {
+		return gramEpsF32
+	}
+	return gramEpsF64
+}
+
+// PlanBlockUpdate runs the replicated phase of a sharded column-block
+// update on the reduced payload (layout as ShardBlockPayload, already
+// summed across shards): residual Gram via Ĝ − LᵀL, its clamped eigen
+// square root, the augmented core SVD, the MaxRank/DropTol rank decision,
+// and the Σ/V refresh. s and v are the replicated factors (v is read, not
+// consumed); w is the block width; gramEps the payload-tier clamp
+// (GramEps). The returned plan carries everything a shard needs to rotate
+// its rows.
+func PlanBlockUpdate(e *compute.Engine, ws *compute.Workspace, s []float64, v *mat.Dense, payload []float64, w int, maxRank int, dropTol, gramEps float64) *BlockPlan {
+	q := len(s)
+	if len(payload) != BlockPayloadLen(q, w) {
+		panic(fmt.Sprintf("svd: PlanBlockUpdate payload length %d, want %d", len(payload), BlockPayloadLen(q, w)))
+	}
+	l := &mat.Dense{R: q, C: w, Data: payload[:q*w]}
+	ghat := &mat.Dense{R: w, C: w, Data: payload[q*w:]}
+
+	// Gh = CᵀC − LᵀL: the Gram of the out-of-subspace residual H = C − U L
+	// (UᵀU = I folds the cross terms into −LᵀL). Computed from the single
+	// fused payload — no second collective.
+	ltl := mat.MulTWith(e, ws, l, l)
+	gh := mat.GetDenseRaw(ws, w, w)
+	for i := range gh.Data {
+		gh.Data[i] = ghat.Data[i] - ltl.Data[i]
+	}
+	mat.PutDense(ws, ltl)
+	// Trace of Ĝ = Σ‖c_j‖² bounds every eigenvalue of Gh; the clamp is
+	// relative to it so the noise floor scales with the block's energy.
+	var tr float64
+	for i := 0; i < w; i++ {
+		tr += ghat.Data[i*w+i]
+	}
+	b, r := gramSqrt(ws, gh, gramEps*tr)
+	mat.PutDense(ws, gh)
+	kres := r.R // residual directions surviving the clamp (w in the generic case)
+
+	// Augmented core K = [diag(Σ) L; 0 R] ((q+kres)×(q+w)).
+	kk := mat.GetDense(ws, q+kres, q+w)
+	for i := 0; i < q; i++ {
+		kk.Set(i, i, s[i])
+		copy(kk.Row(i)[q:], l.Row(i))
+	}
+	for i := 0; i < kres; i++ {
+		copy(kk.Row(q + i)[q:], r.Row(i))
+	}
+	mat.PutDense(ws, r)
+	core := jacobiSVDWS(e, kk, ws, true)
+	mat.PutDense(ws, kk)
+
+	rank := truncRank(core.S, maxRank, dropTol)
+	uc := mat.ColSliceWith(ws, core.U, 0, rank) // (q+kres)×r
+	vc := mat.ColSliceWith(ws, core.V, 0, rank) // (q+w)×r
+	mat.PutDense(ws, core.U)
+	mat.PutDense(ws, core.V)
+
+	// Shard rotation: U_s' = [U_s J_s]·Uc with J_s = (C_s − U_s L)·B, so
+	// U_s' = U_s·(Uc_top − L·B·Uc_bot) + C_s·(B·Uc_bot) — two GEMMs per
+	// shard, H never materialized.
+	ucTop := &mat.Dense{R: q, C: rank, Data: uc.Data[:q*rank]}
+	ucBot := &mat.Dense{R: kres, C: rank, Data: uc.Data[q*rank:]}
+	cb := mat.MulWith(e, ws, b, ucBot) // w×r
+	mat.PutDense(ws, b)
+	lcb := mat.MulWith(e, ws, l, cb) // q×r
+	ua := mat.GetDenseRaw(ws, q, rank)
+	for i := range ua.Data {
+		ua.Data[i] = ucTop.Data[i] - lcb.Data[i]
+	}
+	mat.PutDense(ws, lcb)
+	mat.PutDense(ws, uc)
+
+	// Replicated V refresh: V' = [[V 0];[0 I]]·Vc — top rows V·Vc_top,
+	// bottom rows copied straight from Vc.
+	t := v.R
+	vcTop := &mat.Dense{R: q, C: rank, Data: vc.Data[:q*rank]}
+	newV := mat.GetDenseRaw(ws, t+w, rank)
+	nvTop := &mat.Dense{R: t, C: rank, Data: newV.Data[:t*rank]}
+	mat.MulIntoWith(e, nvTop, v, vcTop)
+	copy(newV.Data[t*rank:], vc.Data[q*rank:])
+	mat.PutDense(ws, vc)
+
+	newS := make([]float64, rank)
+	copy(newS, core.S[:rank])
+	return &BlockPlan{UA: ua, CB: cb, NewS: newS, NewV: newV}
+}
+
+// ApplyShardBlock rotates one shard's row slice per the plan:
+// dst = u·UA + c·CB. dst (m_s×r) must not alias u or c; distinct shards
+// write disjoint dst slices, so the apply phase fans out race-free.
+func ApplyShardBlock(e *compute.Engine, ws *compute.Workspace, dst, u, c *mat.Dense, plan *BlockPlan) {
+	mat.MulIntoWith(e, dst, u, plan.UA)
+	tmp := mat.MulWith(e, ws, c, plan.CB)
+	for i := range dst.Data {
+		dst.Data[i] += tmp.Data[i]
+	}
+	mat.PutDense(ws, tmp)
+}
+
+// ReorthPlan is the replicated outcome of a sharded re-orthogonalization:
+// each shard applies U_s ← U_s·UA; Σ and V refresh as in BlockPlan.
+type ReorthPlan struct {
+	UA   *mat.Dense // q×r
+	NewS []float64
+	NewV *mat.Dense // t×r
+}
+
+// Release returns the plan's rotation factor to the pool.
+func (p *ReorthPlan) Release(ws *compute.Workspace) { mat.PutDense(ws, p.UA) }
+
+// PlanShardReorth runs the replicated phase of the periodic exact
+// re-orthogonalization on the reduced q×q Gram of U (payload as
+// ShardGramPayload, summed across shards): with G = UᵀU = WΛWᵀ, the
+// orthonormalized basis is Q = U·WΛ^(−1/2) and the re-diagonalized core is
+// the SVD of Λ^(1/2)Wᵀ·diag(Σ) — the eigen-square-root counterpart of the
+// unsharded QR route (identical up to the orthogonal factor that cancels
+// in the rotation). U drifts only slowly between reorths, so G ≈ I and the
+// square root is maximally well conditioned.
+func PlanShardReorth(e *compute.Engine, ws *compute.Workspace, s []float64, v *mat.Dense, payload []float64, maxRank int, dropTol float64) *ReorthPlan {
+	q := len(s)
+	if len(payload) != GramPayloadLen(q) {
+		panic(fmt.Sprintf("svd: PlanShardReorth payload length %d, want %d", len(payload), GramPayloadLen(q)))
+	}
+	g := &mat.Dense{R: q, C: q, Data: payload}
+	var tr float64
+	for i := 0; i < q; i++ {
+		tr += g.Data[i*q+i]
+	}
+	b, r := gramSqrt(ws, g, gramEpsF64*tr)
+	kres := r.R
+
+	// K = R·diag(Σ) (kres×q).
+	kk := mat.GetDenseRaw(ws, kres, q)
+	for i := 0; i < kres; i++ {
+		row := kk.Row(i)
+		rrow := r.Row(i)
+		for j := 0; j < q; j++ {
+			row[j] = rrow[j] * s[j]
+		}
+	}
+	mat.PutDense(ws, r)
+	core := jacobiSVDWS(e, kk, ws, true)
+	mat.PutDense(ws, kk)
+
+	rank := truncRank(core.S, maxRank, dropTol)
+	uc := mat.ColSliceWith(ws, core.U, 0, rank) // kres×r
+	vc := mat.ColSliceWith(ws, core.V, 0, rank) // q×r
+	mat.PutDense(ws, core.U)
+	mat.PutDense(ws, core.V)
+
+	ua := mat.MulWith(e, ws, b, uc) // q×r
+	mat.PutDense(ws, b)
+	mat.PutDense(ws, uc)
+	newV := mat.MulWith(e, ws, v, vc)
+	mat.PutDense(ws, vc)
+	newS := make([]float64, rank)
+	copy(newS, core.S[:rank])
+	return &ReorthPlan{UA: ua, NewS: newS, NewV: newV}
+}
+
+// ApplyShardReorth rotates one shard's row slice: dst = u·UA.
+func ApplyShardReorth(e *compute.Engine, dst, u *mat.Dense, plan *ReorthPlan) {
+	mat.MulIntoWith(e, dst, u, plan.UA)
+}
+
+// RowPlan is the replicated outcome of a sharded row (new-sensor) update:
+// every shard rotates its existing rows by UA, the owner shard appends
+// NewRows at its bottom, and Σ/V refresh. In wire terms the owner
+// broadcasts [L | Rhᵀ] plus the t×k residual basis Qh — a structural
+// event, not the per-update collective (see internal/shard stats).
+type RowPlan struct {
+	UA      *mat.Dense // q×r coefficient on existing rows
+	NewRows *mat.Dense // k×r rows for the owner shard's new sensors
+	NewS    []float64
+	NewV    *mat.Dense // t×r
+}
+
+// Release returns the plan's rotation factors to the pool.
+func (p *RowPlan) Release(ws *compute.Workspace) {
+	mat.PutDense(ws, p.UA)
+	mat.PutDense(ws, p.NewRows)
+}
+
+// PlanShardRowUpdate runs the owner-local and replicated phases of a row
+// update (AddRows' transposed Brand step, see rowupdate.go) against the
+// replicated Σ/V: L = B·V, the residual H = B − L·Vᵀ with its transposed
+// QR, the core [Σ 0; L Rhᵀ], its SVD, the rank decision and the V refresh.
+// b (k×t) is the new rows' full history, owned by a single shard.
+func PlanShardRowUpdate(e *compute.Engine, ws *compute.Workspace, s []float64, v *mat.Dense, b *mat.Dense, maxRank int, dropTol float64) *RowPlan {
+	q := len(s)
+	k := b.R
+	t := v.R
+
+	l := mat.MulWith(e, ws, b, v) // k×q
+	h := mat.CloneWith(ws, b)
+	for i := 0; i < k; i++ {
+		hrow := h.Row(i)
+		lrow := l.Row(i)
+		for j := 0; j < q; j++ {
+			lij := lrow[j]
+			if lij == 0 {
+				continue
+			}
+			for r := 0; r < t; r++ {
+				hrow[r] -= lij * v.Data[r*q+j]
+			}
+		}
+	}
+	ht := mat.TWith(ws, h)
+	mat.PutDense(ws, h)
+	qr := mat.QRFactorOn(e, ws, ht) // Qh t×k, Rh k×k
+	mat.PutDense(ws, ht)
+
+	kk := mat.GetDense(ws, q+k, q+k)
+	for i := 0; i < q; i++ {
+		kk.Set(i, i, s[i])
+	}
+	for i := 0; i < k; i++ {
+		copy(kk.Row(q + i)[:q], l.Row(i))
+		for j := 0; j < k; j++ {
+			kk.Set(q+i, q+j, qr.R.At(j, i))
+		}
+	}
+	mat.PutDense(ws, l)
+	core := jacobiSVDWS(e, kk, ws, true)
+	mat.PutDense(ws, kk)
+
+	rank := truncRank(core.S, maxRank, dropTol)
+	uc := mat.ColSliceWith(ws, core.U, 0, rank) // (q+k)×r
+	vc := mat.ColSliceWith(ws, core.V, 0, rank) // (q+k)×r
+	mat.PutDense(ws, core.U)
+	mat.PutDense(ws, core.V)
+
+	ua := mat.GetDenseRaw(ws, q, rank)
+	copy(ua.Data, uc.Data[:q*rank])
+	newRows := mat.GetDenseRaw(ws, k, rank)
+	copy(newRows.Data, uc.Data[q*rank:])
+	mat.PutDense(ws, uc)
+
+	// V' = [V Qh]·Vc.
+	vq := mat.GetDenseRaw(ws, t, q+k)
+	for i := 0; i < t; i++ {
+		copy(vq.Row(i)[:q], v.Row(i))
+		copy(vq.Row(i)[q:], qr.Q.Row(i))
+	}
+	qr.Release(ws)
+	newV := mat.MulWith(e, ws, vq, vc)
+	mat.PutDense(ws, vq)
+	mat.PutDense(ws, vc)
+
+	newS := make([]float64, rank)
+	copy(newS, core.S[:rank])
+	return &RowPlan{UA: ua, NewRows: newRows, NewS: newS, NewV: newV}
+}
+
+// gramSqrt factors a small symmetric positive semidefinite Gram matrix
+// g = WΛWᵀ into the maps the sharded updates need: B = WΛ^(−1/2) (taking
+// X with XᵀX = g to an orthonormal basis via X·B) and R = Λ^(1/2)Wᵀ (a
+// square root with RᵀR = g). Eigenvalues at or below clamp — the payload
+// tier's rounding noise — are dropped entirely, shrinking the returned
+// factors to w×k' and k'×w: a direction whose residual energy is below
+// the collective's noise floor cannot be meaningfully orthonormalized.
+func gramSqrt(ws *compute.Workspace, g *mat.Dense, clamp float64) (b, r *mat.Dense) {
+	w := g.R
+	lam, vecs := eig.Symmetric(g) // descending eigenvalues
+	if clamp <= 0 {
+		clamp = 0
+	}
+	keep := 0
+	for keep < len(lam) && lam[keep] > clamp {
+		keep++
+	}
+	b = mat.GetDenseRaw(ws, w, keep)
+	r = mat.GetDenseRaw(ws, keep, w)
+	for j := 0; j < keep; j++ {
+		sq := math.Sqrt(lam[j])
+		inv := 1 / sq
+		for i := 0; i < w; i++ {
+			b.Data[i*keep+j] = vecs.Data[i*w+j] * inv
+			r.Data[j*w+i] = vecs.Data[i*w+j] * sq
+		}
+	}
+	return b, r
+}
+
+// truncRank applies the incremental updates' retention rule to a
+// descending spectrum: cap at maxRank (0 = unbounded), then drop trailing
+// values at or below dropTol·σmax (≤ 0 uses DefaultDropTol), always
+// keeping at least one. Shared by the unsharded truncate and the sharded
+// plans so both paths make bit-identical decisions.
+func truncRank(s []float64, maxRank int, dropTol float64) int {
+	rank := len(s)
+	if maxRank > 0 && rank > maxRank {
+		rank = maxRank
+	}
+	tol := dropTol
+	if tol <= 0 {
+		tol = DefaultDropTol
+	}
+	if len(s) > 0 {
+		floor := tol * s[0]
+		for rank > 1 && s[rank-1] <= floor {
+			rank--
+		}
+	}
+	return rank
+}

@@ -1,0 +1,295 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/mat"
+)
+
+// shardedHarness drives the shard-local/replicated phase split directly
+// (payload → in-test sum → plan → per-shard apply), standing in for the
+// internal/shard coordinator so the math is validated at this layer.
+type shardedHarness struct {
+	s    []float64
+	v    *mat.Dense
+	bigU *mat.Dense
+	offs []int // nshards+1 row boundaries
+	ws   *compute.Workspace
+
+	maxRank int
+	updates int
+}
+
+func newShardedHarness(first *mat.Dense, maxRank, nshards int) *shardedHarness {
+	ws := compute.NewWorkspace()
+	r := ComputeWith(nil, ws, first)
+	if maxRank > 0 && r.Rank() > maxRank {
+		r = r.Truncate(maxRank)
+	}
+	m := first.R
+	offs := make([]int, nshards+1)
+	for i := 1; i <= nshards; i++ {
+		offs[i] = offs[i-1] + m/nshards
+		if i <= m%nshards {
+			offs[i]++
+		}
+	}
+	return &shardedHarness{s: r.S, v: r.V, bigU: r.U, offs: offs, ws: ws, maxRank: maxRank}
+}
+
+// rowView returns rows [lo,hi) of m as a view (no copy).
+func rowView(m *mat.Dense, lo, hi int) *mat.Dense {
+	return &mat.Dense{R: hi - lo, C: m.C, Data: m.Data[lo*m.C : hi*m.C]}
+}
+
+func (h *shardedHarness) update(c *mat.Dense) {
+	q, w := len(h.s), c.C
+	n := len(h.offs) - 1
+	// Shard-local payloads, then the in-test "all-reduce" (plain sum).
+	sum := make([]float64, BlockPayloadLen(q, w))
+	part := make([]float64, BlockPayloadLen(q, w))
+	for sh := 0; sh < n; sh++ {
+		u := rowView(h.bigU, h.offs[sh], h.offs[sh+1])
+		cs := rowView(c, h.offs[sh], h.offs[sh+1])
+		ShardBlockPayload(nil, h.ws, u, cs, part)
+		for i, v := range part {
+			sum[i] += v
+		}
+	}
+	plan := PlanBlockUpdate(nil, h.ws, h.s, h.v, sum, w, h.maxRank, 0, GramEps(false))
+	r := len(plan.NewS)
+	newBig := mat.NewDense(h.bigU.R, r)
+	for sh := 0; sh < n; sh++ {
+		dst := rowView(newBig, h.offs[sh], h.offs[sh+1])
+		u := rowView(h.bigU, h.offs[sh], h.offs[sh+1])
+		cs := rowView(c, h.offs[sh], h.offs[sh+1])
+		ApplyShardBlock(nil, h.ws, dst, u, cs, plan)
+	}
+	plan.Release(h.ws)
+	h.bigU, h.s, h.v = newBig, plan.NewS, plan.NewV
+	h.updates++
+	if h.updates%8 == 0 {
+		h.reorth()
+	}
+}
+
+func (h *shardedHarness) reorth() {
+	q := len(h.s)
+	n := len(h.offs) - 1
+	sum := make([]float64, GramPayloadLen(q))
+	part := make([]float64, GramPayloadLen(q))
+	for sh := 0; sh < n; sh++ {
+		ShardGramPayload(nil, h.ws, rowView(h.bigU, h.offs[sh], h.offs[sh+1]), part)
+		for i, v := range part {
+			sum[i] += v
+		}
+	}
+	plan := PlanShardReorth(nil, h.ws, h.s, h.v, sum, h.maxRank, 0)
+	newBig := mat.NewDense(h.bigU.R, len(plan.NewS))
+	for sh := 0; sh < n; sh++ {
+		ApplyShardReorth(nil, rowView(newBig, h.offs[sh], h.offs[sh+1]), rowView(h.bigU, h.offs[sh], h.offs[sh+1]), plan)
+	}
+	plan.Release(h.ws)
+	h.bigU, h.s, h.v = newBig, plan.NewS, plan.NewV
+}
+
+func (h *shardedHarness) addRows(b *mat.Dense) {
+	plan := PlanShardRowUpdate(nil, h.ws, h.s, h.v, b, h.maxRank, 0)
+	r := len(plan.NewS)
+	m := h.bigU.R
+	newBig := mat.NewDense(m+b.R, r)
+	n := len(h.offs) - 1
+	for sh := 0; sh < n; sh++ {
+		dst := rowView(newBig, h.offs[sh], h.offs[sh+1])
+		mat.MulIntoWith(nil, dst, rowView(h.bigU, h.offs[sh], h.offs[sh+1]), plan.UA)
+	}
+	// New sensors land on the last shard's bottom = the global bottom.
+	copy(newBig.Data[m*r:], plan.NewRows.Data)
+	h.offs[n] += b.R
+	plan.Release(h.ws)
+	h.bigU, h.s, h.v = newBig, plan.NewS, plan.NewV
+	h.updates++
+	if h.updates%8 == 0 {
+		h.reorth()
+	}
+}
+
+func (h *shardedHarness) reconstruct() *mat.Dense {
+	us := h.bigU.Clone()
+	for i := 0; i < us.R; i++ {
+		row := us.Row(i)
+		for j := range row {
+			row[j] *= h.s[j]
+		}
+	}
+	return mat.Mul(us, h.v.T())
+}
+
+// relFrobDiff returns ‖a−b‖_F / (1+‖b‖_F).
+func relFrobDiff(a, b *mat.Dense) float64 {
+	return mat.Sub(a, b).FrobNorm() / (1 + b.FrobNorm())
+}
+
+// TestShardedBlockUpdateMatchesIncremental streams the same column blocks
+// through the unsharded Incremental and the phase-split harness at 1, 2
+// and 3 shards: the reconstructions and spectra must agree to roundoff
+// (the two residual orthogonalizations differ only by an orthogonal
+// factor that cancels in the rotated bases), including across the 8-update
+// re-orthogonalization boundary.
+func TestShardedBlockUpdateMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		m       = 41
+		seedT   = 30
+		w       = 6
+		blocks  = 11 // crosses the reorth at update 8
+		maxRank = 12 // keeps the rank cap active every update
+	)
+	data := mat.NewDense(m, seedT+blocks*w)
+	for i := range data.Data {
+		data.Data[i] = rng.NormFloat64()
+	}
+	for _, nshards := range []int{1, 2, 3} {
+		inc := NewIncremental(data.ColSlice(0, seedT), maxRank)
+		h := newShardedHarness(data.ColSlice(0, seedT), maxRank, nshards)
+		for b := 0; b < blocks; b++ {
+			blk := data.ColSlice(seedT+b*w, seedT+(b+1)*w)
+			inc.Update(blk)
+			h.update(blk)
+
+			if len(h.s) != len(inc.S) {
+				t.Fatalf("shards=%d block %d: rank %d vs %d", nshards, b, len(h.s), len(inc.S))
+			}
+			for i := range h.s {
+				if d := math.Abs(h.s[i]-inc.S[i]) / inc.S[0]; d > 1e-10 {
+					t.Fatalf("shards=%d block %d: σ[%d]=%v vs %v (rel %g)", nshards, b, i, h.s[i], inc.S[i], d)
+				}
+			}
+		}
+		want := inc.Result().Reconstruct()
+		got := h.reconstruct()
+		if d := relFrobDiff(got, want); d > 1e-9 {
+			t.Fatalf("shards=%d: reconstruction deviates by %g (> 1e-9)", nshards, d)
+		}
+	}
+}
+
+// TestShardedRowUpdateMatchesAddRows interleaves column blocks with a row
+// (new-sensor) update: the sharded row plan must track AddRows the same
+// way the block phases track Update.
+func TestShardedRowUpdateMatchesAddRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const (
+		m       = 30
+		seedT   = 24
+		w       = 6
+		newRows = 3
+		maxRank = 10
+	)
+	total := seedT + 4*w
+	data := mat.NewDense(m+newRows, total)
+	for i := range data.Data {
+		data.Data[i] = rng.NormFloat64()
+	}
+	top := data.RowSlice(0, m)
+
+	for _, nshards := range []int{2, 3} {
+		inc := NewIncremental(top.ColSlice(0, seedT), maxRank)
+		h := newShardedHarness(top.ColSlice(0, seedT), maxRank, nshards)
+		for b := 0; b < 2; b++ {
+			blk := top.ColSlice(seedT+b*w, seedT+(b+1)*w)
+			inc.Update(blk)
+			h.update(blk)
+		}
+		// New sensors arrive with their history over the absorbed columns.
+		hist := data.RowSlice(m, m+newRows).ColSlice(0, seedT+2*w)
+		inc.AddRows(hist)
+		h.addRows(hist)
+		// Stream continues over the grown sensor dimension.
+		for b := 2; b < 4; b++ {
+			blk := data.ColSlice(seedT+b*w, seedT+(b+1)*w)
+			inc.Update(blk)
+			h.update(blk)
+		}
+		want := inc.Result().Reconstruct()
+		got := h.reconstruct()
+		if d := relFrobDiff(got, want); d > 1e-9 {
+			t.Fatalf("shards=%d: reconstruction after row update deviates by %g", nshards, d)
+		}
+	}
+}
+
+// TestGramSqrt pins the eigen square root's contracts: RᵀR reproduces the
+// Gram, X·B is orthonormal for any X with XᵀX = G, and sub-clamp
+// directions are dropped rather than normalized into noise.
+func TestGramSqrt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := compute.NewWorkspace()
+	x := mat.NewDense(50, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	// Make the last column tiny so the clamp has a direction to cut.
+	for i := 0; i < x.R; i++ {
+		x.Row(i)[7] = 1e-10 * x.Row(i)[0]
+	}
+	g := mat.Gram(x, true)
+	var tr float64
+	for i := 0; i < g.R; i++ {
+		tr += g.At(i, i)
+	}
+	b, r := gramSqrt(ws, g.Clone(), 1e-13*tr)
+	if r.R != 7 {
+		t.Fatalf("kept %d directions, want 7 (tiny direction must be clamped)", r.R)
+	}
+	rtr := mat.MulT(r, r)
+	if d := relFrobDiff(rtr, g); d > 1e-10 {
+		t.Fatalf("RᵀR deviates from G by %g", d)
+	}
+	q := mat.Mul(x, b)
+	qtq := mat.Gram(q, true)
+	eye := mat.Eye(7)
+	if d := relFrobDiff(qtq, eye); d > 1e-8 {
+		t.Fatalf("X·B not orthonormal: deviation %g", d)
+	}
+}
+
+// TestShardBlockPayloadLayout pins the payload wire format: the projection
+// block is exactly UᵀC and the rider exactly CᵀC, and shard contributions
+// sum to the unsharded quantities.
+func TestShardBlockPayloadLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m, q, w = 23, 5, 4
+	u := mat.NewDense(m, q)
+	c := mat.NewDense(m, w)
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64()
+	}
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	offs := []int{0, 9, 16, m}
+	sum := make([]float64, BlockPayloadLen(q, w))
+	part := make([]float64, BlockPayloadLen(q, w))
+	for sh := 0; sh+1 < len(offs); sh++ {
+		ShardBlockPayload(nil, nil, rowView(u, offs[sh], offs[sh+1]), rowView(c, offs[sh], offs[sh+1]), part)
+		for i, v := range part {
+			sum[i] += v
+		}
+	}
+	l := mat.MulT(u, c)
+	g := mat.Gram(c, true)
+	for i, v := range l.Data {
+		if math.Abs(sum[i]-v) > 1e-12 {
+			t.Fatalf("projection element %d: %v vs %v", i, sum[i], v)
+		}
+	}
+	for i, v := range g.Data {
+		if math.Abs(sum[q*w+i]-v) > 1e-12 {
+			t.Fatalf("Gram rider element %d: %v vs %v", i, sum[q*w+i], v)
+		}
+	}
+}

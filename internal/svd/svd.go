@@ -386,12 +386,20 @@ func scaleColsInv(m *mat.Dense, s []float64) {
 // the standard cubic approximation of ω. Generic so the screening tier
 // can apply the same decision rule to its float32 spectrum.
 func SVHTRank[T mat.Element](s []T, m, n int) int {
+	return SVHTRankWith(nil, s, m, n)
+}
+
+// SVHTRankWith is SVHTRank with the median's sort scratch borrowed from ws
+// (nil ws allocates). The threshold runs inside every window fit and every
+// PartialFit refresh, so the hot callers (dmd.FromSVD, MixedCompute) pass
+// their workspace to keep the decision allocation-free.
+func SVHTRankWith[T mat.Element](ws *compute.Workspace, s []T, m, n int) int {
 	if len(s) == 0 {
 		return 0
 	}
 	beta := float64(min(m, n)) / float64(max(m, n))
 	omega := 0.56*beta*beta*beta - 0.95*beta*beta + 1.82*beta + 1.43
-	med := median(s)
+	med := medianWith(ws, s)
 	tau := omega * med
 	rank := 0
 	for rank < len(s) && float64(s[rank]) > tau {
@@ -403,17 +411,24 @@ func SVHTRank[T mat.Element](s []T, m, n int) int {
 	return rank
 }
 
-func median[T mat.Element](s []T) float64 {
-	c := make([]float64, len(s))
+// medianWith computes the median of a spectrum in float64, sorting a
+// workspace-borrowed copy (the input is descending already, but the copy
+// keeps the contract allocation-free rather than order-dependent).
+func medianWith[T mat.Element](ws *compute.Workspace, s []T) float64 {
+	c := ws.GetF64(len(s))
 	for i, v := range s {
 		c[i] = float64(v)
 	}
 	sort.Float64s(c)
 	n := len(c)
+	var med float64
 	if n%2 == 1 {
-		return c[n/2]
+		med = c[n/2]
+	} else {
+		med = 0.5 * (c[n/2-1] + c[n/2])
 	}
-	return 0.5 * (c[n/2-1] + c[n/2])
+	ws.PutF64(c)
+	return med
 }
 
 func min(a, b int) int {
