@@ -42,6 +42,12 @@ type benchMetric struct {
 	// GFLOPS is reported for kernel benchmarks with a closed-form flop
 	// count (multiply/Gram); higher-level pipeline benchmarks omit it.
 	GFLOPS float64 `json:"gflops,omitempty"`
+	// Ingest-throughput entries (the server benchmark) report end-to-end
+	// batch rate and tail latency instead of flops: NsPerOp is the mean
+	// per-batch HTTP round trip, these carry the distribution.
+	BatchesPerSec float64 `json:"batches_per_sec,omitempty"`
+	P50Ms         float64 `json:"p50_ms,omitempty"`
+	P99Ms         float64 `json:"p99_ms,omitempty"`
 }
 
 func metricOf(r testing.BenchmarkResult) benchMetric {
@@ -196,6 +202,18 @@ func writeBenchJSON(path string, workers int) error {
 		sg.Shards = s
 		snap.Benchmarks[fmt.Sprintf("partial_fit_gpu_shards%d_t2000_x5", s)] = partialFit(gpuData, sg)
 	}
+
+	// End-to-end ingestion throughput through the streaming service: one
+	// tenant seeded with the SC Log scenario's first 2000 columns, then 50
+	// 40-column JSON batches over real HTTP — codec, feeder, PartialFit
+	// and response marshaling all on the clock. The p50/p99 split shows
+	// the re-orthogonalization and drift-recompute spikes a dashboard
+	// sees, which mean-only numbers hide.
+	m, err := ingestThroughput(workers, blockColumns)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks["ingest_throughput_sclog_b40_x50"] = m
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"imrdmd/internal/bench"
+	"imrdmd/internal/server"
+	"imrdmd/internal/stream"
+)
+
+// ingestThroughput measures the streaming service end to end: an SC Log
+// tenant is seeded with 2000 columns over CSV, then 50 consecutive
+// 40-column JSON batches stream in over real HTTP. Each batch is one
+// PartialFit; the recorded distribution therefore includes the periodic
+// re-orthogonalization spikes, which is why p99 is reported next to p50.
+func ingestThroughput(workers, blockColumns int) (benchMetric, error) {
+	const (
+		p       = 200
+		seedT   = 2000
+		batchW  = 40
+		batches = 50
+	)
+	data := bench.SCLogData(p, seedT+batches*batchW, 1)
+
+	s := server.New(server.Config{Workers: workers})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func(method, path, ct string, body []byte, want int) error {
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			return fmt.Errorf("%s %s: status %d (%s)", method, path, resp.StatusCode, out)
+		}
+		return nil
+	}
+
+	opts := fmt.Sprintf(`{"dt":20,"max_levels":6,"max_cycles":2,"use_svht":true,"parallel":true,"block_columns":%d,"initial_cols":%d}`,
+		blockColumns, seedT)
+	if err := do("POST", "/v1/tenants/bench", "application/json", []byte(opts), http.StatusCreated); err != nil {
+		return benchMetric{}, err
+	}
+	var seed bytes.Buffer
+	if err := stream.WriteCSV(&seed, data.ColSlice(0, seedT)); err != nil {
+		return benchMetric{}, err
+	}
+	if err := do("POST", "/v1/tenants/bench/ingest", "text/csv", seed.Bytes(), http.StatusOK); err != nil {
+		return benchMetric{}, err
+	}
+
+	jsonBatch := func(lo, hi int) ([]byte, error) {
+		sl := data.ColSlice(lo, hi)
+		rows := make([][]float64, sl.R)
+		for i := range rows {
+			rows[i] = sl.Row(i)
+		}
+		return json.Marshal(stream.JSONBatch{Data: rows})
+	}
+	lat := make([]time.Duration, 0, batches)
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		body, err := jsonBatch(seedT+b*batchW, seedT+(b+1)*batchW)
+		if err != nil {
+			return benchMetric{}, err
+		}
+		t0 := time.Now()
+		if err := do("POST", "/v1/tenants/bench/ingest", "application/json", body, http.StatusOK); err != nil {
+			return benchMetric{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	wall := time.Since(start)
+
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	return benchMetric{
+		NsPerOp:       int64(total) / int64(len(lat)),
+		N:             batches,
+		BatchesPerSec: float64(batches) / wall.Seconds(),
+		P50Ms:         float64(stream.Quantile(sorted, 0.50)) / float64(time.Millisecond),
+		P99Ms:         float64(stream.Quantile(sorted, 0.99)) / float64(time.Millisecond),
+	}, nil
+}

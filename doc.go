@@ -36,6 +36,28 @@
 // accuracy, 2e-5, when combined with "mixed" precision, whose
 // collectives ship float32 at half the bytes; see DESIGN.md §7).
 //
+// # Snapshot and restore
+//
+// Analyzer.Snapshot serializes the complete incremental state as a
+// versioned binary stream and Restore reconstructs it; the restored
+// analyzer continues PartialFit streams bit-compatibly with the
+// uninterrupted one, across both precision tiers and sharded or
+// unsharded level-1 state. This is what lets a long-running deployment
+// survive restarts or migrate a stream between hosts:
+//
+//	var buf bytes.Buffer
+//	if err := a.Snapshot(&buf); err != nil { ... }
+//	b, err := imrdmd.Restore(&buf)          // picks up exactly where a left off
+//
+// # Serving streams
+//
+// cmd/imrdmd-serve wraps the analyzer in a long-running HTTP service:
+// per-tenant analyzers (each with its own Options — per-tenant
+// Precision/Shards selection included) behind chunked CSV/JSON ingest,
+// query endpoints for modes/spectrum/reconstruction error, and
+// snapshot/restore endpoints backed by the same codec, with all
+// tenants' kernels bounded by one shared worker pool. See DESIGN.md §8.
+//
 // See the examples directory for complete monitoring scenarios and
 // cmd/paperbench for the harness that regenerates every table and figure
 // of the paper.

@@ -173,6 +173,50 @@ func New(opts Options) (*Analyzer, error) {
 	return &Analyzer{opts: opts, inc: inc}, nil
 }
 
+// Snapshot serializes the analyzer's complete incremental state — the
+// absorbed history, the multi-level window tree, the running level-1 SVD
+// (sharded or not) and every option and counter that shapes future
+// updates — as a versioned binary stream. A Restore of that stream
+// continues PartialFit streams bit-compatibly with the uninterrupted
+// analyzer, which is what lets a long-running deployment survive process
+// restarts or migrate tenants between hosts (cmd/imrdmd-serve exposes
+// exactly this over HTTP). Snapshot waits for pending asynchronous
+// recomputations, then holds the analyzer lock for the write; it is an
+// error before InitialFit.
+func (a *Analyzer) Snapshot(w io.Writer) error {
+	return a.inc.Snapshot(w)
+}
+
+// Restore reconstructs an Analyzer from a Snapshot stream. The restored
+// analyzer carries the snapshot's Options (including Workers, Precision
+// and Shards) and is immediately ready for PartialFit. Streams from an
+// unknown format version, truncated or corrupted input fail with a
+// descriptive error.
+func Restore(r io.Reader) (*Analyzer, error) {
+	inc, err := core.DecodeIncremental(r)
+	if err != nil {
+		return nil, fmt.Errorf("imrdmd: restore: %w", err)
+	}
+	co := inc.Options()
+	opts := Options{
+		DT:             co.DT,
+		MaxLevels:      co.MaxLevels,
+		MaxCycles:      co.MaxCycles,
+		NyquistFactor:  co.NyquistFactor,
+		Rank:           co.Rank,
+		UseSVHT:        co.UseSVHT,
+		MinWindow:      co.MinWindow,
+		Parallel:       co.Parallel,
+		Workers:        co.Workers,
+		BlockColumns:   co.BlockColumns,
+		Precision:      co.Precision,
+		Shards:         co.Shards,
+		DriftThreshold: inc.DriftThreshold,
+		AsyncRecompute: inc.AsyncRecompute,
+	}
+	return &Analyzer{opts: opts, inc: inc}, nil
+}
+
 // InitialFit runs the batch mrDMD over the first window and prepares the
 // incremental state.
 func (a *Analyzer) InitialFit(s *Series) error {

@@ -1,0 +1,208 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+// encodeSample writes one of every primitive and returns the stream.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Int(-42)
+	w.I64(1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float(math.Pi)
+	w.Float(math.Copysign(0, -1))
+	w.Complex(complex(1.5, -2.5))
+	w.String("mixed")
+	w.Ints([]int{0, 3, 7})
+	w.Floats([]float64{1, 2.5, -3e-9})
+	w.Complexes([]complex128{1i, 2 - 3i})
+	m := mat.NewDense(3, 2)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.5
+	}
+	w.Dense(m)
+	w.Dense(mat.NewDense(4, 0)) // degenerate shapes must round-trip too
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(encodeSample(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Int(); v != -42 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := r.I64(); v != 1<<40 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip broken")
+	}
+	if v := r.Float(); v != math.Pi {
+		t.Fatalf("Float = %v", v)
+	}
+	if v := r.Float(); math.Signbit(v) == false || v != 0 {
+		t.Fatalf("signed zero lost: %v", v)
+	}
+	if v := r.Complex(); v != complex(1.5, -2.5) {
+		t.Fatalf("Complex = %v", v)
+	}
+	if v := r.String(); v != "mixed" {
+		t.Fatalf("String = %q", v)
+	}
+	ints := r.Ints()
+	if len(ints) != 3 || ints[1] != 3 {
+		t.Fatalf("Ints = %v", ints)
+	}
+	fs := r.Floats()
+	if len(fs) != 3 || fs[2] != -3e-9 {
+		t.Fatalf("Floats = %v", fs)
+	}
+	cs := r.Complexes()
+	if len(cs) != 2 || cs[1] != 2-3i {
+		t.Fatalf("Complexes = %v", cs)
+	}
+	m := r.Dense()
+	if m.R != 3 || m.C != 2 || m.At(2, 1) != 2.5 {
+		t.Fatalf("Dense shape/content wrong: %+v", m)
+	}
+	deg := r.Dense()
+	if deg.R != 4 || deg.C != 0 || deg.Data == nil || len(deg.Data) != 0 {
+		t.Fatalf("degenerate Dense wrong: %+v", deg)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTASNAPxxxx"))); !errors.Is(err, ErrMagic) {
+		t.Fatalf("want ErrMagic, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrMagic) {
+		t.Fatalf("empty stream: want ErrMagic, got %v", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version+7)
+	buf.Write(v[:])
+	if _, err := NewReader(&buf); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	full := encodeSample(t)
+	// Every proper prefix must fail cleanly — either a field read hits
+	// ErrUnexpectedEOF or the trailer check fails; never a silent success.
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // header itself truncated: already an error
+		}
+		drain(r)
+		if err := r.Close(); err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(full))
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	full := encodeSample(t)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 32; trial++ {
+		b := append([]byte(nil), full...)
+		i := len(magic) + 4 + rng.Intn(len(b)-len(magic)-4) // spare the header
+		b[i] ^= 0x40
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			continue
+		}
+		drain(r)
+		if err := r.Close(); err == nil {
+			t.Fatalf("bit flip at %d not detected", i)
+		}
+	}
+}
+
+// drain reads the sample stream's fields, ignoring values (errors latch).
+func drain(r *Reader) {
+	r.Int()
+	r.I64()
+	r.Bool()
+	r.Bool()
+	r.Float()
+	r.Float()
+	r.Complex()
+	_ = r.String()
+	r.Ints()
+	r.Floats()
+	r.Complexes()
+	r.Dense()
+	r.Dense()
+}
+
+func TestWriterErrLatches(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Int(1)
+	w.Floats([]float64{1, 2})
+	if err := w.Close(); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+// TestLyingLengthDoesNotOverallocate: a tiny stream claiming a huge
+// slice length must fail at the input's end, not allocate gigabytes up
+// front (the restore endpoint feeds attacker-supplied bytes here).
+func TestLyingLengthDoesNotOverallocate(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Int(1 << 29) // claims a 4 GiB float64 slice...
+	w.Float(1)     // ...but carries one element
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if v := r.Floats(); v != nil {
+		t.Fatal("truncated huge slice decoded")
+	}
+	runtime.ReadMemStats(&after)
+	if grown := after.TotalAlloc - before.TotalAlloc; grown > 64<<20 {
+		t.Fatalf("decode of lying length allocated %d MiB", grown>>20)
+	}
+	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", r.Err())
+	}
+}

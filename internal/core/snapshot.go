@@ -1,0 +1,320 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"imrdmd/internal/codec"
+	"imrdmd/internal/compute"
+	"imrdmd/internal/dmd"
+	"imrdmd/internal/shard"
+	"imrdmd/internal/svd"
+)
+
+// This file is the snapshot/restore layer of the I-mrDMD state machine:
+// the complete analyzer state — options, absorbed history, the level-1
+// sample grid, the multi-level window tree, the incremental SVD (sharded
+// or not) and every counter that phases future updates — serialized
+// through the internal/codec wire format. A decoded analyzer continues a
+// PartialFit stream bit-compatibly with the uninterrupted original, which
+// is what makes long-running tenants restartable and migratable (see
+// DESIGN.md §8).
+
+// isvd kind tags written before the level-1 SVD payload.
+const (
+	isvdUnsharded = 0
+	isvdSharded   = 1
+)
+
+// Snapshot serializes the analyzer's full state to w. It waits for any
+// in-flight asynchronous recomputations first (so the snapshot is a
+// consistent post-recompute state), then holds the state lock for the
+// duration of the write. Snapshot before InitialFit is an error — there
+// is no state to save.
+func (inc *Incremental) Snapshot(w io.Writer) error {
+	inc.wg.Wait()
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.raw == nil {
+		return errors.New("core: Snapshot before InitialFit")
+	}
+	enc := codec.NewWriter(w)
+	encodeOptions(enc, inc.opts)
+	enc.Float(inc.DriftThreshold)
+	enc.Bool(inc.AsyncRecompute)
+	enc.Int(inc.p)
+	enc.Dense(inc.raw)
+	enc.Int(inc.stride1)
+	enc.Dense(inc.sub1)
+	enc.Int(inc.nextSample)
+	encodeNode(enc, inc.level1)
+	enc.Int(len(inc.segments))
+	for _, seg := range inc.segments {
+		enc.Int(seg.start)
+		enc.Int(seg.end)
+		enc.Int(len(seg.nodes))
+		for _, nd := range seg.nodes {
+			encodeNode(enc, nd)
+		}
+	}
+	enc.Int(inc.updates)
+	enc.Int(inc.recomputes)
+	enc.Floats(inc.driftLog)
+	if inc.coord != nil {
+		enc.Int(isvdSharded)
+		inc.coord.Encode(enc)
+	} else {
+		enc.Int(isvdUnsharded)
+		inc.isvd.(*svd.Incremental).Encode(enc)
+	}
+	return enc.Close()
+}
+
+// DecodeIncremental reconstructs an analyzer written by Snapshot,
+// resolving the compute engine from the snapshot's own Workers option.
+func DecodeIncremental(r io.Reader) (*Incremental, error) {
+	return DecodeIncrementalWith(r, nil)
+}
+
+// DecodeIncrementalWith is DecodeIncremental with an explicit engine —
+// the hook a multi-tenant server uses to land every restored analyzer on
+// its one bounded pool regardless of what the snapshot was running on.
+// nil eng defers to the snapshot's options.
+func DecodeIncrementalWith(r io.Reader, eng *compute.Engine) (*Incremental, error) {
+	dec, err := codec.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	opts := decodeOptions(dec)
+	driftThreshold := dec.Float()
+	asyncRecompute := dec.Bool()
+	p := dec.Len()
+	raw := dec.Dense()
+	stride1 := dec.Int()
+	sub1 := dec.Dense()
+	nextSample := dec.Int()
+	level1 := decodeNode(dec)
+	var segments []*segment
+	nSeg := dec.Len()
+	for i := 0; i < nSeg && dec.Err() == nil; i++ {
+		seg := &segment{start: dec.Int(), end: dec.Int()}
+		nNodes := dec.Len()
+		for j := 0; j < nNodes && dec.Err() == nil; j++ {
+			seg.nodes = append(seg.nodes, decodeNode(dec))
+		}
+		segments = append(segments, seg)
+	}
+	updates := dec.Int()
+	recomputes := dec.Int()
+	driftLog := dec.Floats()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if eng == nil {
+		eng = opts.engine()
+	}
+	ws := compute.NewWorkspace()
+
+	inc := &Incremental{
+		DriftThreshold: driftThreshold,
+		AsyncRecompute: asyncRecompute,
+		opts:           opts,
+		p:              p,
+		eng:            eng,
+		ws:             ws,
+		raw:            raw,
+		stride1:        stride1,
+		sub1:           sub1,
+		nextSample:     nextSample,
+		level1:         level1,
+		segments:       segments,
+		updates:        updates,
+		recomputes:     recomputes,
+		driftLog:       driftLog,
+	}
+
+	kind := dec.Int()
+	switch kind {
+	case isvdUnsharded:
+		isvd, err := svd.DecodeIncrementalState(dec, eng, ws)
+		if err != nil {
+			return nil, err
+		}
+		inc.isvd = isvd
+	case isvdSharded:
+		coord, err := shard.DecodeCoordinator(dec, eng, ws, nil)
+		if err != nil {
+			return nil, err
+		}
+		inc.coord = coord
+		inc.isvd = coord
+	default:
+		if err := dec.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: unknown level-1 SVD kind %d", codec.ErrCorrupt, kind)
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	if err := inc.validateDecoded(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// validateDecoded cross-checks the structural invariants PartialFit
+// assumes, so a corrupt-but-checksum-valid stream (or a format bug) fails
+// at restore time with a clear error instead of panicking mid-update.
+func (inc *Incremental) validateDecoded() error {
+	if inc.raw == nil || inc.sub1 == nil || inc.level1 == nil {
+		return errors.New("core: decoded snapshot structurally incomplete")
+	}
+	if inc.raw.R != inc.p || inc.sub1.R != inc.p {
+		return fmt.Errorf("core: decoded row counts inconsistent (p=%d, raw %d, sub1 %d)",
+			inc.p, inc.raw.R, inc.sub1.R)
+	}
+	if inc.stride1 < 1 {
+		return fmt.Errorf("core: decoded level-1 stride %d invalid", inc.stride1)
+	}
+	if inc.sub1.C < 2 || inc.sub1.C > inc.raw.C {
+		return fmt.Errorf("core: decoded sample grid (%d columns) inconsistent with %d absorbed columns",
+			inc.sub1.C, inc.raw.C)
+	}
+	// nextSample is the next level-1 grid index: a stride multiple in
+	// (raw.C - stride1, raw.C + stride1]. Anything else sends PartialFit's
+	// grid loop out of range (negative gather indices) or into a
+	// billion-iteration append — fail here instead.
+	if inc.nextSample%inc.stride1 != 0 || inc.nextSample < inc.raw.C || inc.nextSample > inc.raw.C+inc.stride1 {
+		return fmt.Errorf("core: decoded next sample index %d inconsistent with %d columns at stride %d",
+			inc.nextSample, inc.raw.C, inc.stride1)
+	}
+	// The level-1 SVD tracks X = sub1[:, :ns-1]: its factors must agree
+	// with the sensor dimension and the grid width, or the next update's
+	// GEMMs panic on shape.
+	res := inc.isvd.ResultView()
+	if res.U.R != inc.p || res.V.R != inc.sub1.C-1 {
+		return fmt.Errorf("core: decoded level-1 SVD shape %d×%d factors for %d sensors × %d grid columns",
+			res.U.R, res.V.R, inc.p, inc.sub1.C)
+	}
+	if err := inc.validateDecodedNode(inc.level1); err != nil {
+		return err
+	}
+	for _, seg := range inc.segments {
+		if seg.start < 0 || seg.end > inc.raw.C || seg.end < seg.start {
+			return fmt.Errorf("core: decoded segment window [%d,%d) outside the %d absorbed columns",
+				seg.start, seg.end, inc.raw.C)
+		}
+		for _, nd := range seg.nodes {
+			if err := inc.validateDecodedNode(nd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateDecodedNode checks the per-node invariants reconstruction and
+// spectrum queries index by: the window inside the absorbed history and
+// every mode's spatial vector spanning the sensor dimension.
+func (inc *Incremental) validateDecodedNode(n *Node) error {
+	if n.Start < 0 || n.End > inc.raw.C || n.End < n.Start || n.Stride < 1 {
+		return fmt.Errorf("core: decoded node window [%d,%d) stride %d outside the %d absorbed columns",
+			n.Start, n.End, n.Stride, inc.raw.C)
+	}
+	for i := range n.Modes {
+		if len(n.Modes[i].Phi) != inc.p {
+			return fmt.Errorf("core: decoded mode %d of node [%d,%d) has %d-sensor spatial vector, want %d",
+				i, n.Start, n.End, len(n.Modes[i].Phi), inc.p)
+		}
+	}
+	return nil
+}
+
+// Options returns the analyzer's (default-filled) configuration — what a
+// restored public Analyzer re-wraps.
+func (inc *Incremental) Options() Options {
+	return inc.opts
+}
+
+// encodeOptions writes every persistent Options field. The runtime-only
+// Engine override is deliberately not serialized: a snapshot restored in
+// another process resolves its pool from Workers (or the restorer's
+// explicit engine).
+func encodeOptions(w *codec.Writer, o Options) {
+	w.Float(o.DT)
+	w.Int(o.MaxLevels)
+	w.Int(o.MaxCycles)
+	w.Int(o.NyquistFactor)
+	w.Int(o.Rank)
+	w.Bool(o.UseSVHT)
+	w.Int(o.MinWindow)
+	w.Bool(o.Parallel)
+	w.Int(o.Workers)
+	w.Int(o.BlockColumns)
+	w.String(o.Precision)
+	w.Int(o.Shards)
+}
+
+func decodeOptions(r *codec.Reader) Options {
+	return Options{
+		DT:            r.Float(),
+		MaxLevels:     r.Int(),
+		MaxCycles:     r.Int(),
+		NyquistFactor: r.Int(),
+		Rank:          r.Int(),
+		UseSVHT:       r.Bool(),
+		MinWindow:     r.Int(),
+		Parallel:      r.Bool(),
+		Workers:       r.Int(),
+		BlockColumns:  r.Int(),
+		Precision:     r.String(),
+		Shards:        r.Int(),
+	}
+}
+
+// encodeNode writes one tree node with its retained modes.
+func encodeNode(w *codec.Writer, n *Node) {
+	w.Int(n.Level)
+	w.Int(n.Start)
+	w.Int(n.End)
+	w.Int(n.Stride)
+	w.Int(n.NumAllModes)
+	w.Int(len(n.Modes))
+	for i := range n.Modes {
+		m := &n.Modes[i]
+		w.Complexes(m.Phi)
+		w.Complex(m.Lambda)
+		w.Complex(m.Psi)
+		w.Complex(m.Amp)
+		w.Float(m.Freq)
+		w.Float(m.Power)
+	}
+}
+
+func decodeNode(r *codec.Reader) *Node {
+	n := &Node{
+		Level:       r.Int(),
+		Start:       r.Int(),
+		End:         r.Int(),
+		Stride:      r.Int(),
+		NumAllModes: r.Int(),
+	}
+	nModes := r.Len()
+	for i := 0; i < nModes && r.Err() == nil; i++ {
+		n.Modes = append(n.Modes, dmd.Mode{
+			Phi:    r.Complexes(),
+			Lambda: r.Complex(),
+			Psi:    r.Complex(),
+			Amp:    r.Complex(),
+			Freq:   r.Float(),
+			Power:  r.Float(),
+		})
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+// TestValidateDecodedInvariants exercises the structural checks a
+// checksum-valid-but-wrong snapshot must die on at restore time: the
+// grid-index invariant whose violation would send PartialFit's gather
+// loop out of range, and the level-1 factor shape checks. White-box: a
+// genuinely fitted analyzer satisfies the invariants, and each mutation
+// below must flip validation to an error.
+func TestValidateDecodedInvariants(t *testing.T) {
+	data := mat.NewDense(6, 64)
+	for i := range data.Data {
+		data.Data[i] = 50 + 3*math.Sin(float64(i)/9)
+	}
+	inc := NewIncremental(Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	if err := inc.InitialFit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.validateDecoded(); err != nil {
+		t.Fatalf("fitted analyzer fails its own invariants: %v", err)
+	}
+
+	mutate := func(name string, f func(), undo func()) {
+		f()
+		if err := inc.validateDecoded(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		undo()
+		if err := inc.validateDecoded(); err != nil {
+			t.Fatalf("%s: undo left analyzer invalid: %v", name, err)
+		}
+	}
+
+	ns := inc.nextSample
+	mutate("negative nextSample",
+		func() { inc.nextSample = -100 },
+		func() { inc.nextSample = ns })
+	mutate("runaway nextSample",
+		func() { inc.nextSample = inc.raw.C + 100*inc.stride1 },
+		func() { inc.nextSample = ns })
+	if inc.stride1 < 2 {
+		t.Fatalf("test premise: want stride > 1, got %d", inc.stride1)
+	}
+	mutate("misaligned nextSample",
+		func() { inc.nextSample = ns + 1 },
+		func() { inc.nextSample = ns })
+	p := inc.p
+	mutate("sensor-count mismatch",
+		func() { inc.p = p + 3 },
+		func() { inc.p = p })
+	st := inc.stride1
+	mutate("zero stride",
+		func() { inc.stride1 = 0 },
+		func() { inc.stride1 = st })
+	segs := inc.segments
+	mutate("segment outside history",
+		func() { inc.segments = append(segs, &segment{start: 10, end: inc.raw.C + 50}) },
+		func() { inc.segments = segs })
+}
+
+// TestValidateDecodedNodeInvariants: tree-node corruption (window out of
+// range, short spatial vectors) must fail validation — these are indexed
+// unchecked by reconstruction and spectrum queries.
+func TestValidateDecodedNodeInvariants(t *testing.T) {
+	data := mat.NewDense(6, 64)
+	for i := range data.Data {
+		data.Data[i] = 50 + 3*math.Sin(float64(i)/9)
+	}
+	inc := NewIncremental(Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	if err := inc.InitialFit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.validateDecoded(); err != nil {
+		t.Fatal(err)
+	}
+
+	end := inc.level1.End
+	inc.level1.End = inc.raw.C + 7
+	if err := inc.validateDecoded(); err == nil {
+		t.Fatal("node window past history accepted")
+	}
+	inc.level1.End = end
+
+	if len(inc.level1.Modes) == 0 {
+		t.Fatal("test premise: want level-1 modes")
+	}
+	phi := inc.level1.Modes[0].Phi
+	inc.level1.Modes[0].Phi = phi[:len(phi)-2]
+	if err := inc.validateDecoded(); err == nil {
+		t.Fatal("short spatial vector accepted")
+	}
+	inc.level1.Modes[0].Phi = phi
+	if err := inc.validateDecoded(); err != nil {
+		t.Fatal(err)
+	}
+}

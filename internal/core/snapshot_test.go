@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"testing"
+
+	"imrdmd/internal/bench"
+	"imrdmd/internal/codec"
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+)
+
+// snapshotScenarios are the paper workloads the restore-equivalence
+// acceptance criterion runs against (same shapes as the shard sweeps).
+func snapshotScenarios() []struct {
+	name string
+	data *mat.Dense
+	dt   float64
+} {
+	return []struct {
+		name string
+		data *mat.Dense
+		dt   float64
+	}{
+		{"sclog", bench.SCLogData(96, 1536, 1), 20},
+		{"gpu", bench.GPUData(96, 1536, 1), 1},
+	}
+}
+
+// interruptedScenario runs the same stream as streamScenario but pauses
+// after two partial fits to snapshot, restore, and finish the remaining
+// fits on the restored analyzer.
+func interruptedScenario(t *testing.T, data *mat.Dense, opts core.Options) *core.Incremental {
+	t.Helper()
+	const initialT = 1024
+	inc := core.NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, initialT)); err != nil {
+		t.Fatal(err)
+	}
+	step := (data.C - initialT) / 4
+	fit := func(target *core.Incremental, c int) {
+		hi := c + step
+		if hi > data.C {
+			hi = data.C
+		}
+		if _, err := target.PartialFit(data.ColSlice(c, hi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fit(inc, initialT)
+	fit(inc, initialT+step)
+
+	var buf bytes.Buffer
+	if err := inc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.DecodeIncremental(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Cols() != inc.Cols() || restored.Sensors() != inc.Sensors() || restored.Updates() != inc.Updates() {
+		t.Fatalf("restored state mismatch: cols %d/%d sensors %d/%d updates %d/%d",
+			restored.Cols(), inc.Cols(), restored.Sensors(), inc.Sensors(), restored.Updates(), inc.Updates())
+	}
+	fit(restored, initialT+2*step)
+	fit(restored, initialT+3*step)
+	return restored
+}
+
+// TestSnapshotRestoreContinuesStream is the PR's acceptance criterion:
+// encode → decode → continue-streaming must match an uninterrupted run to
+// 1e-12 on the SC Log and GPU Metrics scenarios, across both precision
+// tiers and the unsharded/sharded level-1 paths. (The continuation is
+// bit-compatible by construction — the tolerance only pads float compare
+// plumbing.)
+func TestSnapshotRestoreContinuesStream(t *testing.T) {
+	for _, sc := range snapshotScenarios() {
+		for _, prec := range []string{core.PrecisionFloat64, core.PrecisionMixed} {
+			for _, shards := range []int{1, 2} {
+				opts := core.Options{
+					DT: sc.dt, MaxLevels: 4, MaxCycles: 2, UseSVHT: true,
+					Parallel: true, BlockColumns: 8, Precision: prec, Shards: shards,
+				}
+				want := streamScenario(t, sc.data, opts)
+				got := interruptedScenario(t, sc.data, opts)
+				label := sc.name + "/" + prec + "/shards=" + strconv.Itoa(shards)
+				compareTrees(t, label, got, want, 1e-12)
+				if shards > 1 {
+					st, ok := got.ShardStats()
+					if !ok || st.Updates == 0 {
+						t.Fatalf("%s: restored sharded path not engaged (%+v, ok=%v)", label, st, ok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotRestoreIdenticalAtRest: a freshly restored analyzer must
+// report the identical decomposition — tree, drift log, counters —
+// before any further stream arrives.
+func TestSnapshotRestoreIdenticalAtRest(t *testing.T) {
+	sc := snapshotScenarios()[0]
+	opts := core.Options{DT: sc.dt, MaxLevels: 4, MaxCycles: 2, UseSVHT: true, BlockColumns: 8}
+	want := streamScenario(t, sc.data, opts)
+	var buf bytes.Buffer
+	if err := want.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.DecodeIncremental(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareTrees(t, "at-rest", got, want, 0)
+	gd, wd := got.DriftLog(), want.DriftLog()
+	if len(gd) != len(wd) {
+		t.Fatalf("drift log %d entries vs %d", len(gd), len(wd))
+	}
+	for i := range wd {
+		if gd[i] != wd[i] {
+			t.Fatalf("drift[%d] %v vs %v", i, gd[i], wd[i])
+		}
+	}
+	if got.Recomputes() != want.Recomputes() {
+		t.Fatalf("recomputes %d vs %d", got.Recomputes(), want.Recomputes())
+	}
+	if d := mat.Sub(got.Raw(), want.Raw()).FrobNorm(); d != 0 {
+		t.Fatalf("restored raw history deviates by %g", d)
+	}
+}
+
+// TestSnapshotErrors pins the failure modes: snapshot before any fit,
+// version-mismatched input, truncated input and plain garbage.
+func TestSnapshotErrors(t *testing.T) {
+	inc := core.NewIncremental(core.Options{})
+	if err := inc.Snapshot(io.Discard); err == nil {
+		t.Fatal("Snapshot before InitialFit accepted")
+	}
+
+	sc := snapshotScenarios()[0]
+	fitted := streamScenario(t, sc.data, core.Options{DT: sc.dt, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	var buf bytes.Buffer
+	if err := fitted.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Version mismatch: patch the header's version field.
+	bad := append([]byte(nil), full...)
+	bad[8]++ // first byte of the little-endian version word after the magic
+	if _, err := core.DecodeIncremental(bytes.NewReader(bad)); !errors.Is(err, codec.ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+
+	// Truncation at several depths: always a clean error.
+	for _, cut := range []int{16, len(full) / 3, len(full) - 2} {
+		if _, err := core.DecodeIncremental(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+
+	if _, err := core.DecodeIncremental(bytes.NewReader([]byte("not a snapshot at all"))); !errors.Is(err, codec.ErrMagic) {
+		t.Fatalf("want ErrMagic, got %v", err)
+	}
+}

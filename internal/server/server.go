@@ -1,0 +1,543 @@
+// Package server is the streaming ingestion service around the I-mrDMD
+// analyzer: a long-running HTTP server holding a registry of per-tenant
+// incremental analyzers that many dashboards stream against concurrently.
+// Each tenant picks its own analysis options — including the Precision
+// and Shards fidelity knobs — while every tenant's kernels run on one
+// bounded compute engine, so the process's concurrency is Workers-shaped
+// no matter how many tenants register. Chunked CSV/JSON ingest feeds the
+// stream plumbing (stream.Source → stream.Feeder), and the snapshot
+// endpoints expose the internal/codec state serialization that lets a
+// tenant survive process restarts or migrate between servers. See
+// DESIGN.md §8 for the architecture and the endpoint table.
+//
+// Routes (all tenant state lives under /v1/tenants/{id}):
+//
+//	GET    /healthz                   liveness + tenant count
+//	GET    /v1/tenants                tenant summaries
+//	POST   /v1/tenants/{id}           create (JSON TenantOptions body; empty = defaults)
+//	PUT    /v1/tenants/{id}           restore from a binary snapshot body
+//	DELETE /v1/tenants/{id}           drop the tenant
+//	POST   /v1/tenants/{id}/ingest    CSV (text/csv) or JSON batches (application/json)
+//	GET    /v1/tenants/{id}/stats     TenantStatus (incl. shard transport stats)
+//	GET    /v1/tenants/{id}/modes     retained mode/level counts
+//	GET    /v1/tenants/{id}/spectrum  per-mode spectrum points
+//	GET    /v1/tenants/{id}/error     reconstruction error over absorbed data
+//	GET    /v1/tenants/{id}/snapshot  binary analyzer snapshot
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/stream"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers bounds the shared compute engine every tenant's kernels run
+	// on (0 = GOMAXPROCS). This is the process's total kernel concurrency:
+	// tenants contend for these lanes rather than multiplying them.
+	Workers int
+	// MaxTenants caps the registry; 0 means unlimited.
+	MaxTenants int
+	// DefaultInitialCols seeds tenants whose options leave InitialCols
+	// unset; 0 defaults to 256.
+	DefaultInitialCols int
+}
+
+// Server is the tenant registry plus its HTTP surface.
+type Server struct {
+	cfg Config
+	eng *compute.Engine
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// New builds a server with its shared engine.
+func New(cfg Config) *Server {
+	if cfg.DefaultInitialCols == 0 {
+		cfg.DefaultInitialCols = 256
+	}
+	return &Server{
+		cfg:     cfg,
+		eng:     compute.Shared(cfg.Workers),
+		tenants: make(map[string]*tenant),
+	}
+}
+
+// Handler returns the HTTP routing surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/tenants", s.handleList)
+	mux.HandleFunc("POST /v1/tenants/{id}", s.handleCreate)
+	mux.HandleFunc("PUT /v1/tenants/{id}", s.handleRestore)
+	mux.HandleFunc("DELETE /v1/tenants/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/tenants/{id}/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/tenants/{id}/modes", s.handleModes)
+	mux.HandleFunc("GET /v1/tenants/{id}/spectrum", s.handleSpectrum)
+	mux.HandleFunc("GET /v1/tenants/{id}/error", s.handleError)
+	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// httpError is a handler failure with its status code.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func fail(code int, err error) *httpError { return &httpError{code: code, err: err} }
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// tenantID validates the {id} path segment. Ids become file names under
+// -state-dir (<id>.imrdmd), so the charset is restricted to names that
+// cannot traverse or escape it: letters, digits, '.', '_' and '-', no
+// separator characters (ServeMux unescapes %2F into the path value) and
+// no dot-only segments.
+func tenantID(r *http.Request) (string, error) {
+	id := r.PathValue("id")
+	if !validTenantID(id) {
+		return "", fail(http.StatusBadRequest, fmt.Errorf("invalid tenant id %q (want 1-128 chars of [A-Za-z0-9._-], not dots only)", id))
+	}
+	return id, nil
+}
+
+func validTenantID(id string) bool {
+	if id == "" || len(id) > 128 || strings.Trim(id, ".") == "" {
+		return false
+	}
+	for _, c := range []byte(id) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup fetches a registered tenant.
+func (s *Server) lookup(id string) (*tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return nil, fail(http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
+	}
+	return t, nil
+}
+
+// register inserts a tenant, enforcing uniqueness and the registry cap.
+func (s *Server) register(t *tenant) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[t.id]; ok {
+		return fail(http.StatusConflict, fmt.Errorf("tenant %q already exists", t.id))
+	}
+	if s.cfg.MaxTenants > 0 && len(s.tenants) >= s.cfg.MaxTenants {
+		return fail(http.StatusTooManyRequests, fmt.Errorf("tenant limit %d reached", s.cfg.MaxTenants))
+	}
+	s.tenants[t.id] = t
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.tenants)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tenants": n, "workers": s.eng.Workers()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	list := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	out := make([]TenantStatus, len(list))
+	for i, t := range list {
+		out[i] = t.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var opts TenantOptions
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opts); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, fail(http.StatusBadRequest, fmt.Errorf("invalid options body: %w", err)))
+		return
+	}
+	t, err := newTenant(id, opts, s.eng, s.cfg.DefaultInitialCols)
+	if err != nil {
+		writeErr(w, fail(http.StatusBadRequest, err))
+		return
+	}
+	if err := s.register(t); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.status())
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t, err := restoreTenant(id, r.Body, s.eng)
+	if err != nil {
+		writeErr(w, fail(http.StatusBadRequest, fmt.Errorf("restore: %w", err)))
+		return
+	}
+	if err := s.register(t); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.tenants[id]
+	delete(s.tenants, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, fail(http.StatusNotFound, fmt.Errorf("unknown tenant %q", id)))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// bodySource adapts the request body to a stream.Source by content type:
+// JSON bodies stream batch objects directly; CSV bodies parse to one
+// matrix fed as a single batch.
+func bodySource(r *http.Request) (stream.Source, error) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.Contains(ct, "json"):
+		return stream.FromJSON(r.Body)
+	case ct == "" || strings.Contains(ct, "csv") || strings.Contains(ct, "text/plain"):
+		m, err := stream.ReadCSV(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		if m.C == 0 {
+			return nil, errors.New("ingest body holds no columns")
+		}
+		return stream.FromMatrix(m, m.C), nil
+	default:
+		return nil, fmt.Errorf("unsupported Content-Type %q (want text/csv or application/json)", ct)
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t, err := s.lookup(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Decode the whole body into batches BEFORE touching tenant state:
+	// malformed input (ragged rows, non-finite values, bad syntax) fails
+	// here with nothing absorbed, and a slow client trickling its body
+	// cannot sit on the tenant lock starving stats/snapshot/shutdown.
+	src, err := bodySource(r)
+	if err != nil {
+		writeErr(w, fail(http.StatusBadRequest, err))
+		return
+	}
+	var batches []*mat.Dense
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		batches = append(batches, b)
+	}
+	if err := stream.SourceErr(src); err != nil {
+		writeErr(w, fail(http.StatusBadRequest, err))
+		return
+	}
+	cols, done, err := t.ingest(batches)
+	if err != nil {
+		// An analyzer rejection mid-stream (e.g. a batch whose row count
+		// disagrees with the fitted sensor dimension) is a client error,
+		// but the earlier batches of this request ARE absorbed — report
+		// how far the ingest got so the client retries only the remainder
+		// instead of double-ingesting.
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":            err.Error(),
+			"columns_absorbed": cols,
+			"batches_absorbed": done,
+		})
+		return
+	}
+	t.mu.Lock()
+	resp := map[string]any{
+		"columns": cols,
+		"batches": done,
+		"seeded":  t.feeder.Seeded(),
+		"pending": t.feeder.Pending(),
+		"steps":   t.inc.Cols(),
+	}
+	t.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, err := s.lookupReq(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.status())
+}
+
+// seededTenant resolves the request tenant and requires a fitted
+// analyzer — the query endpoints have nothing to report before the seed.
+func (s *Server) seededTenant(r *http.Request) (*tenant, error) {
+	t, err := s.lookupReq(r)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	seeded := t.feeder.Seeded()
+	t.mu.Unlock()
+	if !seeded {
+		return nil, fail(http.StatusConflict, fmt.Errorf("tenant %q has not seeded yet (%s)", t.id, "POST more columns first"))
+	}
+	return t, nil
+}
+
+func (s *Server) lookupReq(r *http.Request) (*tenant, error) {
+	id, err := tenantID(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.lookup(id)
+}
+
+func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
+	t, err := s.seededTenant(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t.mu.Lock()
+	tree := t.inc.Tree()
+	t.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"modes":  tree.NumModes(),
+		"levels": tree.MaxLevel(),
+		"nodes":  len(tree.Nodes),
+		"steps":  tree.T,
+	})
+}
+
+// SpectrumPoint is the wire form of one retained mode.
+type SpectrumPoint struct {
+	Freq  float64 `json:"freq"`
+	Power float64 `json:"power"`
+	Amp   float64 `json:"amp"`
+	Grow  float64 `json:"grow"`
+	Level int     `json:"level"`
+}
+
+func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
+	t, err := s.seededTenant(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t.mu.Lock()
+	pts := t.inc.Tree().Spectrum()
+	t.mu.Unlock()
+	out := make([]SpectrumPoint, len(pts))
+	for i, p := range pts {
+		out[i] = SpectrumPoint{Freq: p.Freq, Power: p.Power, Amp: p.Amp, Grow: p.Grow, Level: p.Level}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleError(w http.ResponseWriter, r *http.Request) {
+	t, err := s.seededTenant(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t.mu.Lock()
+	recon := t.inc.ReconError()
+	steps := t.inc.Cols()
+	t.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"recon_error": recon, "steps": steps})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	t, err := s.lookupReq(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	snap, err := t.snapshot()
+	if err != nil {
+		if errors.Is(err, errSnapshotUnseeded) {
+			writeErr(w, fail(http.StatusConflict, err))
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", t.id+snapshotExt))
+	w.Write(snap)
+}
+
+// snapshotExt names on-disk snapshot files.
+const snapshotExt = ".imrdmd"
+
+// SnapshotAll writes every seeded tenant's snapshot into dir as
+// <id>.imrdmd — the graceful-shutdown path of cmd/imrdmd-serve. Unseeded
+// tenants are skipped (they have no incremental state). Each file is
+// written to a temp name and renamed into place only when complete, so
+// an interrupted shutdown (crash, disk full, kill mid-write) can never
+// clobber the previous good snapshot with a truncated one. Returns the
+// number of snapshots written.
+func (s *Server) SnapshotAll(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	list := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, t := range list {
+		snap, err := t.snapshot()
+		if errors.Is(err, errSnapshotUnseeded) {
+			continue
+		}
+		if err != nil {
+			return n, fmt.Errorf("snapshot tenant %q: %w", t.id, err)
+		}
+		final := filepath.Join(dir, t.id+snapshotExt)
+		tmp := final + ".tmp"
+		if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+			os.Remove(tmp)
+			return n, fmt.Errorf("snapshot tenant %q: %w", t.id, err)
+		}
+		if err := os.Rename(tmp, final); err != nil {
+			os.Remove(tmp)
+			return n, fmt.Errorf("snapshot tenant %q: %w", t.id, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RestoreDir loads every <id>.imrdmd snapshot in dir into the registry —
+// the boot path of cmd/imrdmd-serve. A file that fails to restore
+// (truncated, corrupt, wrong version) does NOT abort the boot: the
+// remaining tenants still come up, and the failures are reported in the
+// returned (joined) error alongside the successfully restored ids. Only
+// a missing directory is a clean no-op.
+func (s *Server) RestoreDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []string
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapshotExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapshotExt)
+		if !validTenantID(id) {
+			// An id the HTTP surface would reject would register a zombie
+			// tenant no request can ever address, query or delete.
+			errs = append(errs, fmt.Errorf("tenant %q: invalid id for a snapshot file", id))
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("tenant %q: %w", id, err))
+			continue
+		}
+		t, err := restoreTenant(id, f, s.eng)
+		f.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("tenant %q: %w", id, err))
+			continue
+		}
+		if err := s.register(t); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, errors.Join(errs...)
+}
+
+// Tenants returns the registered tenant count.
+func (s *Server) Tenants() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tenants)
+}

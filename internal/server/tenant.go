@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"imrdmd/internal/compute"
+	"imrdmd/internal/core"
+	"imrdmd/internal/mat"
+	"imrdmd/internal/shard"
+	"imrdmd/internal/stream"
+)
+
+// TenantOptions is the JSON configuration a tenant is created with — the
+// per-tenant knobs of the analyzer (the PR-3/PR-4 Precision and Shards
+// selections ride here) plus the seed width. Workers is deliberately
+// absent: every tenant's kernels run on the server's one bounded engine,
+// which is what keeps N tenants from spawning N worker pools.
+type TenantOptions struct {
+	DT             float64 `json:"dt,omitempty"`
+	MaxLevels      int     `json:"max_levels,omitempty"`
+	MaxCycles      int     `json:"max_cycles,omitempty"`
+	NyquistFactor  int     `json:"nyquist_factor,omitempty"`
+	Rank           int     `json:"rank,omitempty"`
+	UseSVHT        bool    `json:"use_svht,omitempty"`
+	MinWindow      int     `json:"min_window,omitempty"`
+	Parallel       bool    `json:"parallel,omitempty"`
+	BlockColumns   int     `json:"block_columns,omitempty"`
+	Precision      string  `json:"precision,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	AsyncRecompute bool    `json:"async_recompute,omitempty"`
+	// InitialCols is how many columns seed InitialFit before streaming
+	// begins (0 uses the server default). Must be at least 2.
+	InitialCols int `json:"initial_cols,omitempty"`
+}
+
+// toCore maps the wire options onto the analyzer configuration, pinning
+// the engine to the server's shared pool.
+func (o TenantOptions) toCore(eng *compute.Engine) core.Options {
+	return core.Options{
+		DT:            o.DT,
+		MaxLevels:     o.MaxLevels,
+		MaxCycles:     o.MaxCycles,
+		NyquistFactor: o.NyquistFactor,
+		Rank:          o.Rank,
+		UseSVHT:       o.UseSVHT,
+		MinWindow:     o.MinWindow,
+		Parallel:      o.Parallel,
+		BlockColumns:  o.BlockColumns,
+		Precision:     o.Precision,
+		Shards:        o.Shards,
+		Engine:        eng,
+	}
+}
+
+// latencyWindow bounds the per-tenant ingest latency reservoir the
+// percentile stats are computed over (newest batches win).
+const latencyWindow = 4096
+
+// tenant is one registered stream: an analyzer, the push-based feeder
+// that seeds it, and the ingest accounting its stats endpoint reports.
+// All state is guarded by mu — ingest, query and snapshot calls on the
+// same tenant serialize, while different tenants proceed concurrently on
+// the shared engine.
+type tenant struct {
+	id      string
+	created time.Time
+
+	mu        sync.Mutex
+	opts      TenantOptions
+	inc       *core.Incremental
+	feeder    *stream.Feeder
+	ingests   int
+	batches   int
+	latencies []time.Duration // ring of the last latencyWindow batch latencies
+	latPos    int
+}
+
+// newTenant validates opts (through the core Options.Validate path) and
+// builds an unseeded tenant on the server's engine.
+func newTenant(id string, opts TenantOptions, eng *compute.Engine, defaultInitialCols int) (*tenant, error) {
+	if opts.InitialCols == 0 {
+		opts.InitialCols = defaultInitialCols
+	}
+	copts := opts.toCore(eng)
+	if err := copts.Validate(); err != nil {
+		return nil, err
+	}
+	inc := core.NewIncremental(copts)
+	inc.DriftThreshold = opts.DriftThreshold
+	inc.AsyncRecompute = opts.AsyncRecompute
+	feeder, err := stream.NewFeeder(inc, opts.InitialCols)
+	if err != nil {
+		return nil, err
+	}
+	return &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: feeder}, nil
+}
+
+// restoreTenant rebuilds a tenant from a snapshot stream, landing the
+// decoded analyzer on the server's engine. The restored feeder starts
+// seeded: snapshots only exist for fitted analyzers.
+func restoreTenant(id string, r io.Reader, eng *compute.Engine) (*tenant, error) {
+	inc, err := core.DecodeIncrementalWith(r, eng)
+	if err != nil {
+		return nil, err
+	}
+	copts := inc.Options()
+	opts := TenantOptions{
+		DT:             copts.DT,
+		MaxLevels:      copts.MaxLevels,
+		MaxCycles:      copts.MaxCycles,
+		NyquistFactor:  copts.NyquistFactor,
+		Rank:           copts.Rank,
+		UseSVHT:        copts.UseSVHT,
+		MinWindow:      copts.MinWindow,
+		Parallel:       copts.Parallel,
+		BlockColumns:   copts.BlockColumns,
+		Precision:      copts.Precision,
+		Shards:         copts.Shards,
+		DriftThreshold: inc.DriftThreshold,
+		AsyncRecompute: inc.AsyncRecompute,
+		InitialCols:    inc.Cols(),
+	}
+	return &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: stream.ResumeFeeder(inc)}, nil
+}
+
+// ingest pushes already-decoded batches through the feeder, recording
+// per-batch latency. It returns how many columns and batches were
+// absorbed — on error, the counts say how far the ingest got before the
+// failing batch (everything before it is permanently absorbed).
+func (t *tenant) ingest(batches []*mat.Dense) (cols, done int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ingests++
+	for _, b := range batches {
+		start := time.Now()
+		if err := t.feeder.Push(b); err != nil {
+			return cols, done, err
+		}
+		t.recordLatency(time.Since(start))
+		cols += b.C
+		done++
+		t.batches++
+	}
+	return cols, done, nil
+}
+
+func (t *tenant) recordLatency(d time.Duration) {
+	if len(t.latencies) < latencyWindow {
+		t.latencies = append(t.latencies, d)
+		return
+	}
+	t.latencies[t.latPos] = d
+	t.latPos = (t.latPos + 1) % latencyWindow
+}
+
+// latencyQuantiles returns the p50 and p99 of the recorded batch
+// latencies (zeros when nothing has been ingested).
+func (t *tenant) latencyQuantiles() (p50, p99 time.Duration) {
+	if len(t.latencies) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), t.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return stream.Quantile(s, 0.50), stream.Quantile(s, 0.99)
+}
+
+// TenantStatus is the wire form of one tenant's state summary.
+type TenantStatus struct {
+	ID      string  `json:"id"`
+	Created string  `json:"created"`
+	Seeded  bool    `json:"seeded"`
+	Pending int     `json:"pending_columns"`
+	Steps   int     `json:"steps"`
+	Sensors int     `json:"sensors"`
+	Updates int     `json:"updates"`
+	Ingests int     `json:"ingests"`
+	Batches int     `json:"batches"`
+	P50Ms   float64 `json:"ingest_p50_ms"`
+	P99Ms   float64 `json:"ingest_p99_ms"`
+
+	Options TenantOptions `json:"options"`
+	// Shard carries the level-1 transport accounting when the tenant runs
+	// sharded (Options.Shards > 1) — the stats whose concurrent read path
+	// the coordinator guards.
+	Shard *shard.Stats `json:"shard,omitempty"`
+}
+
+// status snapshots the tenant summary. Safe to call concurrently with
+// ingest on other tenants; serializes with this tenant's own ingest.
+func (t *tenant) status() TenantStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p50, p99 := t.latencyQuantiles()
+	st := TenantStatus{
+		ID:      t.id,
+		Created: t.created.UTC().Format(time.RFC3339),
+		Seeded:  t.feeder.Seeded(),
+		Pending: t.feeder.Pending(),
+		Steps:   t.inc.Cols(),
+		Sensors: t.inc.Sensors(),
+		Updates: t.inc.Updates(),
+		Ingests: t.ingests,
+		Batches: t.batches,
+		P50Ms:   float64(p50) / float64(time.Millisecond),
+		P99Ms:   float64(p99) / float64(time.Millisecond),
+		Options: t.opts,
+	}
+	if ss, ok := t.inc.ShardStats(); ok {
+		st.Shard = &ss
+	}
+	return st
+}
+
+// snapshot serializes the analyzer into a memory buffer and returns the
+// bytes. Serializing under the lock but NEVER writing to a caller-paced
+// sink while holding it keeps a slow snapshot downloader (or a stalled
+// disk) from blocking the tenant's ingest path — the same
+// lock-across-client-I/O rule the ingest side follows. Unseeded tenants
+// have no incremental state to save.
+func (t *tenant) snapshot() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.feeder.Seeded() {
+		return nil, errSnapshotUnseeded
+	}
+	var buf bytes.Buffer
+	if err := t.inc.Snapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+var errSnapshotUnseeded = fmt.Errorf("tenant has not seeded yet; nothing to snapshot")

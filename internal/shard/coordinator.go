@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sync"
 
 	"imrdmd/internal/compute"
 	"imrdmd/internal/mat"
@@ -57,6 +58,11 @@ type Coordinator struct {
 	v    *mat.Dense // replicated right factor, t×q
 
 	updates int
+
+	// statsMu guards stats: updates mutate the accounting mid-PartialFit
+	// while monitoring readers (a server metrics endpoint) call Stats from
+	// their own goroutines.
+	statsMu sync.Mutex
 	stats   Stats
 }
 
@@ -120,8 +126,21 @@ func (c *Coordinator) Cols() int { return c.v.R }
 // Rank returns the current truncation rank q.
 func (c *Coordinator) Rank() int { return len(c.s) }
 
-// Stats snapshots the transport accounting.
-func (c *Coordinator) Stats() Stats { return c.stats }
+// Stats snapshots the transport accounting. Unlike the update entry
+// points, Stats is safe to call concurrently with an in-flight
+// Update/AddRows — the monitoring-while-streaming pattern.
+func (c *Coordinator) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// mutateStats applies fn to the accounting under the stats lock.
+func (c *Coordinator) mutateStats(fn func(*Stats)) {
+	c.statsMu.Lock()
+	fn(&c.stats)
+	c.statsMu.Unlock()
+}
 
 // rowView returns rows [lo,hi) of m as a view into its storage.
 func rowView(m *mat.Dense, lo, hi int) *mat.Dense {
@@ -170,9 +189,11 @@ func (c *Coordinator) update(blk *mat.Dense) {
 
 	// The ONE collective of this update.
 	payload := c.reduce(parts)
-	c.stats.Updates++
-	c.stats.Reduces++
-	c.stats.LastPayloadElems = elems
+	c.mutateStats(func(s *Stats) {
+		s.Updates++
+		s.Reduces++
+		s.LastPayloadElems = elems
+	})
 
 	// Replicated refactor phase: runs once here; on a multi-node
 	// deployment every node runs it redundantly on the identical reduced
@@ -212,8 +233,10 @@ func (c *Coordinator) reduce(parts [][]float64) []float64 {
 	elems := len(parts[0])
 	if !c.payload32 {
 		c.red.AllReduce(parts)
-		c.stats.LastPayloadBytes = 8 * elems
-		c.stats.TotalBytes += int64(8 * elems * n)
+		c.mutateStats(func(s *Stats) {
+			s.LastPayloadBytes = 8 * elems
+			s.TotalBytes += int64(8 * elems * n)
+		})
 		sum := parts[0]
 		for _, p := range parts[1:] {
 			c.ws.PutF64(p)
@@ -233,8 +256,10 @@ func (c *Coordinator) reduce(parts [][]float64) []float64 {
 		c.ws.PutF64(p)
 	}
 	c.red.AllReduce32(parts32)
-	c.stats.LastPayloadBytes = 4 * elems
-	c.stats.TotalBytes += int64(4 * elems * n)
+	c.mutateStats(func(s *Stats) {
+		s.LastPayloadBytes = 4 * elems
+		s.TotalBytes += int64(4 * elems * n)
+	})
 	sum := c.ws.GetF64(elems)
 	for j, v := range parts32[0] {
 		sum[j] = float64(v)
@@ -271,8 +296,10 @@ func (c *Coordinator) reorthogonalize() {
 	}
 	c.eng.Do(tasks...)
 	c.red.AllReduce(parts)
-	c.stats.ReorthReduces++
-	c.stats.TotalBytes += int64(8 * elems * n)
+	c.mutateStats(func(s *Stats) {
+		s.ReorthReduces++
+		s.TotalBytes += int64(8 * elems * n)
+	})
 	payload := parts[0]
 	for _, p := range parts[1:] {
 		c.ws.PutF64(p)
@@ -315,8 +342,10 @@ func (c *Coordinator) addRows(b *mat.Dense) {
 	t := c.v.R
 	n := c.Shards()
 	plan := svd.PlanShardRowUpdate(c.eng, c.ws, c.s, c.v, b, c.maxRank, c.dropTol)
-	c.stats.RowBroadcasts++
-	c.stats.TotalBytes += int64(8 * (k*q + k*k + t*k))
+	c.mutateStats(func(s *Stats) {
+		s.RowBroadcasts++
+		s.TotalBytes += int64(8 * (k*q + k*k + t*k))
+	})
 
 	r := len(plan.NewS)
 	m := c.bigU.R

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"fmt"
+
+	"imrdmd/internal/codec"
+	"imrdmd/internal/compute"
+)
+
+// Encode serializes the sharded decomposition: the shard offsets, the
+// contiguous left factor the shard rows view into, the replicated Σ/V,
+// every update knob and counter (the update counter phases the
+// re-orthogonalization schedule), and the transport accounting, so a
+// decoded Coordinator continues the stream bit-compatibly and its
+// metrics endpoint keeps counting from where the snapshot left off.
+func (c *Coordinator) Encode(w *codec.Writer) {
+	w.Ints(c.offs)
+	w.Dense(c.bigU)
+	w.Floats(c.s)
+	w.Dense(c.v)
+	w.Int(c.maxRank)
+	w.Float(c.dropTol)
+	w.Int(c.reorthEvery)
+	w.Bool(c.payload32)
+	w.Int(c.updates)
+	st := c.Stats()
+	w.Int(st.Updates)
+	w.Int(st.Reduces)
+	w.Int(st.ReorthReduces)
+	w.Int(st.RowBroadcasts)
+	w.Int(st.LastPayloadElems)
+	w.Int(st.LastPayloadBytes)
+	w.I64(st.TotalBytes)
+}
+
+// DecodeCoordinator reconstructs a Coordinator written by Encode,
+// attaching the runtime pieces a snapshot cannot carry: the engine, the
+// workspace (nil creates a private one) and the reducer transport (nil
+// uses the in-process SumReducer). The shard partition, precision tier
+// and every factor come from the stream; shapes are cross-checked so a
+// corrupt snapshot fails here rather than mid-update.
+func DecodeCoordinator(r *codec.Reader, eng *compute.Engine, ws *compute.Workspace, red Reducer) (*Coordinator, error) {
+	if ws == nil {
+		ws = compute.NewWorkspace()
+	}
+	if red == nil {
+		red = &SumReducer{}
+	}
+	offs := r.Ints()
+	bigU := r.Dense()
+	s := r.Floats()
+	v := r.Dense()
+	maxRank := r.Int()
+	dropTol := r.Float()
+	reorthEvery := r.Int()
+	payload32 := r.Bool()
+	updates := r.Int()
+	var st Stats
+	st.Updates = r.Int()
+	st.Reduces = r.Int()
+	st.ReorthReduces = r.Int()
+	st.RowBroadcasts = r.Int()
+	st.LastPayloadElems = r.Int()
+	st.LastPayloadBytes = r.Int()
+	st.TotalBytes = r.I64()
+	st.Payload32 = payload32
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(offs) < 2 || bigU == nil || v == nil {
+		return nil, fmt.Errorf("shard: decoded coordinator structurally incomplete (%d offsets)", len(offs))
+	}
+	if offs[0] != 0 || offs[len(offs)-1] != bigU.R {
+		return nil, fmt.Errorf("shard: decoded offsets [%d..%d] do not span the %d factor rows",
+			offs[0], offs[len(offs)-1], bigU.R)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return nil, fmt.Errorf("shard: decoded offsets not monotone at %d", i)
+		}
+	}
+	if bigU.C != len(s) || v.C != len(s) {
+		return nil, fmt.Errorf("shard: decoded factor shapes inconsistent (U %d×%d, %d singular values, V %d×%d)",
+			bigU.R, bigU.C, len(s), v.R, v.C)
+	}
+	return &Coordinator{
+		maxRank:     maxRank,
+		dropTol:     dropTol,
+		reorthEvery: reorthEvery,
+		payload32:   payload32,
+		eng:         eng,
+		ws:          ws,
+		red:         red,
+		offs:        offs,
+		bigU:        bigU,
+		s:           s,
+		v:           v,
+		updates:     updates,
+		stats:       st,
+	}, nil
+}

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"imrdmd/internal/codec"
+	"imrdmd/internal/compute"
+	"imrdmd/internal/mat"
+)
+
+// TestStatsConcurrentWithUpdates is the data-race regression test for
+// Stats(): a monitoring goroutine polling the transport accounting while
+// PartialFit-driven updates are in flight — exactly what a server metrics
+// endpoint does — must be race-clean (run under -race in CI).
+func TestStatsConcurrentWithUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const (
+		m     = 40
+		seedT = 24
+		w     = 6
+	)
+	blocks := 12
+	data := randDense(rng, m, seedT+blocks*w)
+	c, err := NewCoordinator(Config{Shards: 3, MaxRank: 12, Engine: compute.Shared(4)}, data.ColSlice(0, seedT))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := c.Stats()
+				if st.TotalBytes < last {
+					t.Error("TotalBytes went backwards")
+					return
+				}
+				last = st.TotalBytes
+			}
+		}()
+	}
+	for b := 0; b < blocks; b++ {
+		c.Update(data.ColSlice(seedT+b*w, seedT+(b+1)*w))
+	}
+	close(stop)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Updates != blocks || st.Reduces != blocks {
+		t.Fatalf("accounting lost updates: %+v", st)
+	}
+}
+
+// TestCoordinatorSnapshotRoundTrip: encode mid-stream, decode, continue
+// both — the decoded coordinator must track the original exactly,
+// including across the re-orthogonalization boundary its restored update
+// counter must phase correctly.
+func TestCoordinatorSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const (
+		m     = 37
+		seedT = 20
+		w     = 5
+	)
+	pre, post := 6, 7 // 6+7 updates crosses reorthEvery=8 after the split
+	data := randDense(rng, m, seedT+(pre+post)*w)
+	for _, payload32 := range []bool{false, true} {
+		ref, err := NewCoordinator(Config{Shards: 3, MaxRank: 11, Payload32: payload32, Engine: compute.Shared(4)}, data.ColSlice(0, seedT))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < pre; b++ {
+			ref.Update(data.ColSlice(seedT+b*w, seedT+(b+1)*w))
+		}
+
+		var buf bytes.Buffer
+		enc := codec.NewWriter(&buf)
+		ref.Encode(enc)
+		if err := enc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeCoordinator(dec, compute.Shared(4), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got.Shards() != ref.Shards() || got.Rank() != ref.Rank() || got.Cols() != ref.Cols() {
+			t.Fatalf("restored shape: shards %d rank %d cols %d vs %d/%d/%d",
+				got.Shards(), got.Rank(), got.Cols(), ref.Shards(), ref.Rank(), ref.Cols())
+		}
+		if got.Stats() != ref.Stats() {
+			t.Fatalf("restored stats %+v vs %+v", got.Stats(), ref.Stats())
+		}
+
+		for b := pre; b < pre+post; b++ {
+			blk := data.ColSlice(seedT+b*w, seedT+(b+1)*w)
+			ref.Update(blk)
+			got.Update(blk)
+		}
+		rr, gr := ref.Result(), got.Result()
+		if d := relFrobDiff(gr.U, rr.U); d != 0 {
+			t.Fatalf("payload32=%v: restored U deviates by %g", payload32, d)
+		}
+		if d := relFrobDiff(gr.V, rr.V); d != 0 {
+			t.Fatalf("payload32=%v: restored V deviates by %g", payload32, d)
+		}
+		for i := range rr.S {
+			if gr.S[i] != rr.S[i] {
+				t.Fatalf("payload32=%v: σ[%d] %v vs %v", payload32, i, gr.S[i], rr.S[i])
+			}
+		}
+	}
+}
+
+// TestDecodeCoordinatorRejectsCorruptShapes: structurally inconsistent
+// streams must fail decode validation, not panic later.
+func TestDecodeCoordinatorRejectsCorruptShapes(t *testing.T) {
+	var buf bytes.Buffer
+	enc := codec.NewWriter(&buf)
+	enc.Ints([]int{0, 5})          // offsets claim 5 rows
+	enc.Dense(mat.NewDense(4, 2))  // but U has 4
+	enc.Floats([]float64{1, 0.5})  // rank 2
+	enc.Dense(mat.NewDense(10, 2)) // V consistent with rank
+	enc.Int(0)
+	enc.Float(0)
+	enc.Int(8)
+	enc.Bool(false)
+	enc.Int(0)
+	for i := 0; i < 6; i++ {
+		enc.Int(0)
+	}
+	enc.I64(0)
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCoordinator(dec, nil, nil, nil); err == nil {
+		t.Fatal("offset/row mismatch accepted")
+	}
+}

@@ -155,3 +155,221 @@ func TestReadCSVErrors(t *testing.T) {
 		t.Fatal("empty CSV should give empty matrix")
 	}
 }
+
+// TestPumpRejectsTinyInitialCols: the old behavior silently seeded
+// InitialFit with every accumulated column when initialCols < 2 (the
+// spill split was skipped); now the misconfiguration is rejected up
+// front.
+func TestPumpRejectsTinyInitialCols(t *testing.T) {
+	data := randMatrix(11, 6, 64)
+	for _, ic := range []int{-3, 0, 1} {
+		inc := core.NewIncremental(core.Options{DT: 1})
+		if _, err := Pump(inc, FromMatrix(data, 16), ic); err == nil {
+			t.Fatalf("initialCols=%d accepted", ic)
+		} else if !strings.Contains(err.Error(), "initialCols") {
+			t.Fatalf("initialCols=%d: unhelpful error %v", ic, err)
+		}
+	}
+}
+
+// TestPumpShortSeedSurfaced: a source that exhausts below initialCols
+// still seeds (with what arrived) but the stats say so.
+func TestPumpShortSeedSurfaced(t *testing.T) {
+	data := randMatrix(12, 6, 96)
+	inc := core.NewIncremental(core.Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	stats, err := Pump(inc, FromMatrix(data, 32), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.ShortSeed {
+		t.Fatal("short seed not surfaced")
+	}
+	if stats.InitialColumns != 96 || stats.Batches != 0 {
+		t.Fatalf("short seed absorbed wrong: initial %d, batches %d", stats.InitialColumns, stats.Batches)
+	}
+	// The normal path must not set the flag.
+	inc2 := core.NewIncremental(core.Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	stats2, err := Pump(inc2, FromMatrix(data, 32), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.ShortSeed {
+		t.Fatal("full seed flagged short")
+	}
+}
+
+// TestFeederPushSeedsAndStreams: push-based ingestion — buffer, seed at
+// the requested width, stream afterwards.
+func TestFeederPushSeedsAndStreams(t *testing.T) {
+	data := randMatrix(13, 8, 400)
+	inc := core.NewIncremental(core.Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	f, err := NewFeeder(inc, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFeeder(inc, 1); err == nil {
+		t.Fatal("initialCols=1 accepted")
+	}
+	for c := 0; c < data.C; c += 100 {
+		if err := f.Push(data.ColSlice(c, c+100)); err != nil {
+			t.Fatal(err)
+		}
+		if c == 0 && (f.Seeded() || f.Pending() != 100) {
+			t.Fatalf("after 100 cols: seeded=%v pending=%d", f.Seeded(), f.Pending())
+		}
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.InitialColumns != 150 || st.Columns != 400 || inc.Cols() != 400 {
+		t.Fatalf("feeder accounting: initial %d, columns %d, absorbed %d", st.InitialColumns, st.Columns, inc.Cols())
+	}
+	if st.Batches != 3 { // 50 spill + 100 + 100
+		t.Fatalf("Batches = %d want 3", st.Batches)
+	}
+	if st.ShortSeed {
+		t.Fatal("full seed flagged short")
+	}
+}
+
+// TestResumeFeeder: a feeder over an already fitted analyzer (the
+// restored-snapshot path) starts seeded and streams immediately.
+func TestResumeFeeder(t *testing.T) {
+	data := randMatrix(14, 8, 300)
+	inc := core.NewIncremental(core.Options{DT: 1, MaxLevels: 3, MaxCycles: 2, UseSVHT: true})
+	if err := inc.InitialFit(data.ColSlice(0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	f := ResumeFeeder(inc)
+	if !f.Seeded() {
+		t.Fatal("resumed feeder not seeded")
+	}
+	if err := f.Push(data.ColSlice(200, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.Columns != 300 || st.Batches != 1 {
+		t.Fatalf("resume accounting: %+v", st)
+	}
+}
+
+// TestCSVDegenerateRoundTrip: the shapes plain CSV cannot represent must
+// survive Write→Read unchanged via the #shape header.
+func TestCSVDegenerateRoundTrip(t *testing.T) {
+	for _, shape := range [][2]int{{0, 0}, {5, 0}, {0, 7}} {
+		var buf bytes.Buffer
+		in := mat.NewDense(shape[0], shape[1])
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		out, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if out == nil || out.R != in.R || out.C != in.C || out.Data == nil {
+			t.Fatalf("%v round-tripped to %+v", shape, out)
+		}
+	}
+}
+
+// TestCSVNonFiniteRejected: both directions refuse NaN/±Inf with errors
+// that name the cell.
+func TestCSVNonFiniteRejected(t *testing.T) {
+	m := randMatrix(15, 3, 4)
+	m.Set(1, 2, math.Inf(-1))
+	if err := WriteCSV(&bytes.Buffer{}, m); err == nil || !strings.Contains(err.Error(), "row 1 col 2") {
+		t.Fatalf("Inf write: %v", err)
+	}
+	m.Set(1, 2, math.NaN())
+	if err := WriteCSV(&bytes.Buffer{}, m); err == nil {
+		t.Fatal("NaN write accepted")
+	}
+	for _, in := range []string{"1,NaN\n2,3\n", "1,2\n+Inf,3\n", "1,2\n3,-inf\n"} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("%q read: %v", in, err)
+		}
+	}
+}
+
+// TestCSVExtremeFiniteValues: the largest/smallest finite values must
+// survive the text round trip exactly.
+func TestCSVExtremeFiniteValues(t *testing.T) {
+	in := mat.NewDense(2, 2)
+	in.Set(0, 0, math.MaxFloat64)
+	in.Set(0, 1, -math.MaxFloat64)
+	in.Set(1, 0, math.SmallestNonzeroFloat64)
+	in.Set(1, 1, -0.0)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatalf("element %d: %v != %v", i, out.Data[i], in.Data[i])
+		}
+	}
+}
+
+// TestJSONSourceBatches: concatenated batch objects stream in order and
+// reassemble the matrix.
+func TestJSONSourceBatches(t *testing.T) {
+	body := `{"data":[[1,2],[3,4]]}{"data":[[5],[6]]}` + "\n" + `{"data":[[7,8,9],[10,11,12]]}`
+	src, err := FromJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Rows() != 2 {
+		t.Fatalf("Rows = %d", src.Rows())
+	}
+	var all *mat.Dense
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if all == nil {
+			all = b
+		} else {
+			all = mat.HStack(all, b)
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 5, 7, 8, 9, 3, 4, 6, 10, 11, 12}
+	if all.R != 2 || all.C != 6 {
+		t.Fatalf("reassembled %d×%d", all.R, all.C)
+	}
+	for i, v := range want {
+		if all.Data[i] != v {
+			t.Fatalf("element %d = %v want %v", i, all.Data[i], v)
+		}
+	}
+}
+
+// TestJSONSourceErrors: empty body, ragged batches and row-count changes
+// all fail with latched errors.
+func TestJSONSourceErrors(t *testing.T) {
+	if _, err := FromJSON(strings.NewReader("")); err == nil {
+		t.Fatal("empty body accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{"data":[[1,2],[3]]}`)); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	src, err := FromJSON(strings.NewReader(`{"data":[[1],[2]]}{"data":[[3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if src.Err() == nil {
+		t.Fatal("row-count change not surfaced")
+	}
+}
