@@ -23,7 +23,9 @@
 // With -state-dir set, every seeded tenant's analyzer is snapshotted
 // into the directory on graceful shutdown (SIGINT/SIGTERM) and restored
 // from it at the next boot, so tenants survive restarts without
-// re-streaming their history. The same binary snapshots are served by
+// re-streaming their history. -snapshot-every additionally snapshots on
+// a timer, bounding how much streamed history a crash (as opposed to a
+// graceful stop) can lose. The same binary snapshots are served by
 // GET /v1/tenants/{id}/snapshot and accepted by PUT /v1/tenants/{id} —
 // migrating a tenant between hosts is a curl pipe.
 package main
@@ -50,6 +52,7 @@ func main() {
 		maxTenants = flag.Int("max-tenants", 0, "tenant registry cap (0 = unlimited)")
 		initial    = flag.Int("initial", 256, "default seed columns for tenants that do not set initial_cols")
 		stateDir   = flag.String("state-dir", "", "directory for tenant snapshots (restore at boot, snapshot at shutdown; empty = stateless)")
+		snapEvery  = flag.Duration("snapshot-every", 0, "also snapshot all tenants to -state-dir on this interval (0 = shutdown only)")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -70,8 +73,13 @@ Endpoints:
   GET    /v1/tenants/{id}/stats     ingest/shard/latency stats
   GET    /v1/tenants/{id}/modes     retained mode and level counts
   GET    /v1/tenants/{id}/spectrum  per-mode spectrum points
-  GET    /v1/tenants/{id}/error     reconstruction error
+  GET    /v1/tenants/{id}/error     grid reconstruction error + drift
+  GET    /v1/tenants/{id}/events    SSE push stream, one event per publish
   GET    /v1/tenants/{id}/snapshot  binary analyzer snapshot
+
+Query endpoints are lock-free (served from the copy-on-write published
+result), return strong ETags and X-Imrdmd-Version, and honor
+If-None-Match with 304; /spectrum takes ?since=<version> for deltas.
 
 Flags:
 `)
@@ -109,12 +117,41 @@ Flags:
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("imrdmd-serve listening on %s (workers=%d)", *addr, *workers)
 
+	// Periodic background snapshots: each tick snapshots every seeded
+	// tenant through the same atomic write-temp-then-rename path the
+	// shutdown snapshot uses, so a crash between ticks loses at most one
+	// interval of streamed history.
+	if *snapEvery > 0 && *stateDir != "" {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					n, err := s.SnapshotAll(*stateDir)
+					if err != nil {
+						log.Printf("periodic snapshot to %s: WARNING: %v", *stateDir, err)
+						continue
+					}
+					log.Printf("periodic snapshot: %d tenant(s) to %s", n, *stateDir)
+				}
+			}
+		}()
+	} else if *snapEvery > 0 {
+		log.Printf("WARNING: -snapshot-every ignored without -state-dir")
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down")
+	// Sever the SSE push streams first: Shutdown waits for in-flight
+	// handlers, and /events handlers run until their subscription ends.
+	s.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"imrdmd/internal/bench"
 	"imrdmd/internal/compute"
@@ -48,6 +49,15 @@ type benchMetric struct {
 	BatchesPerSec float64 `json:"batches_per_sec,omitempty"`
 	P50Ms         float64 `json:"p50_ms,omitempty"`
 	P99Ms         float64 `json:"p99_ms,omitempty"`
+	// Query-throughput entries report the lock-free read path: sustained
+	// reads/s across Readers concurrent pollers (NsPerOp is the mean read
+	// round trip, ReadP* the read-side tail) while the same tenant keeps
+	// streaming PartialFit batches — whose in-window latency rides in
+	// BatchesPerSec/P50Ms/P99Ms above.
+	Readers     int     `json:"readers,omitempty"`
+	ReadsPerSec float64 `json:"reads_per_sec,omitempty"`
+	ReadP50Ms   float64 `json:"read_p50_ms,omitempty"`
+	ReadP99Ms   float64 `json:"read_p99_ms,omitempty"`
 }
 
 func metricOf(r testing.BenchmarkResult) benchMetric {
@@ -214,6 +224,18 @@ func writeBenchJSON(path string, workers int) error {
 		return err
 	}
 	snap.Benchmarks["ingest_throughput_sclog_b40_x50"] = m
+
+	// Lock-free read-path sweep: the same streaming tenant polled by 1, 2,
+	// 4 and 8 concurrent readers for a fixed window each. The reads/s and
+	// read tail price the copy-on-write publication; the per-entry ingest
+	// p50/p99 show the write path holding steady under query load.
+	for _, rc := range []int{1, 2, 4, 8} {
+		qm, err := queryThroughput(workers, blockColumns, rc, 1200*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		snap.Benchmarks[fmt.Sprintf("query_throughput_sclog_r%d", rc)] = qm
+	}
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"imrdmd/internal/bench"
 )
@@ -32,8 +33,18 @@ func main() {
 		check   = flag.Bool("check", true, "assert the paper's qualitative shapes")
 		workers = flag.Int("workers", 0, "compute-engine worker lanes for the -bench-json run (0 = GOMAXPROCS); experiment paths use the default pool")
 		bjson   = flag.String("bench-json", "", "write a Mul/PartialFit benchmark snapshot (ns/op, allocs/op) to this file, e.g. BENCH_pr1.json, and exit")
+		qsmoke  = flag.Bool("query-smoke", false, "run a short query-throughput smoke (2 readers, ~0.3s) and exit")
 	)
 	flag.Parse()
+	if *qsmoke {
+		m, err := queryThroughput(*workers, 8, 2, 300*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query smoke: %.0f reads/s across %d readers (read p50 %.3f ms p99 %.3f ms; concurrent ingest %.1f batches/s p50 %.3f ms p99 %.3f ms)\n",
+			m.ReadsPerSec, m.Readers, m.ReadP50Ms, m.ReadP99Ms, m.BatchesPerSec, m.P50Ms, m.P99Ms)
+		return
+	}
 	if *bjson != "" {
 		if err := writeBenchJSON(*bjson, *workers); err != nil {
 			log.Fatal(err)

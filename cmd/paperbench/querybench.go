@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"imrdmd/internal/bench"
+	"imrdmd/internal/server"
+	"imrdmd/internal/stream"
+)
+
+// queryThroughput prices the lock-free read path under the paper's
+// million-dashboard scenario: one SC Log tenant seeded with 2000 columns
+// keeps absorbing 40-column PartialFit batches over HTTP while `readers`
+// concurrent pollers hammer the published endpoints (spectrum, modes,
+// error, stats) as fast as they can. Reported are the sustained reads/s
+// with the read-side tail latency, plus the ingest latency distribution
+// measured IN the same window — the number that shows whether query
+// traffic perturbs the write path (it must not: reads never take the
+// tenant lock).
+func queryThroughput(workers, blockColumns, readers int, measure time.Duration) (benchMetric, error) {
+	const (
+		p      = 200
+		seedT  = 2000
+		batchW = 40
+		pool   = 30 // pre-rendered ingest bodies, cycled by the writer
+	)
+	data := bench.SCLogData(p, seedT+pool*batchW, 1)
+
+	s := server.New(server.Config{Workers: workers})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The default transport's 2 idle conns per host would make N pollers
+	// serialize on connection churn; dashboards keep-alive their way in.
+	tr := &http.Transport{MaxIdleConnsPerHost: readers + 4}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	do := func(method, path, ct string, body []byte, want int) error {
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			return fmt.Errorf("%s %s: status %d (%s)", method, path, resp.StatusCode, out)
+		}
+		return nil
+	}
+
+	opts := fmt.Sprintf(`{"dt":20,"max_levels":6,"max_cycles":2,"use_svht":true,"parallel":true,"block_columns":%d,"initial_cols":%d}`,
+		blockColumns, seedT)
+	if err := do("POST", "/v1/tenants/qbench", "application/json", []byte(opts), http.StatusCreated); err != nil {
+		return benchMetric{}, err
+	}
+	var seed bytes.Buffer
+	if err := stream.WriteCSV(&seed, data.ColSlice(0, seedT)); err != nil {
+		return benchMetric{}, err
+	}
+	if err := do("POST", "/v1/tenants/qbench/ingest", "text/csv", seed.Bytes(), http.StatusOK); err != nil {
+		return benchMetric{}, err
+	}
+
+	bodies := make([][]byte, pool)
+	for b := range bodies {
+		sl := data.ColSlice(seedT+b*batchW, seedT+(b+1)*batchW)
+		rows := make([][]float64, sl.R)
+		for i := range rows {
+			rows[i] = sl.Row(i)
+		}
+		body, err := json.Marshal(stream.JSONBatch{Data: rows})
+		if err != nil {
+			return benchMetric{}, err
+		}
+		bodies[b] = body
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: keep the tenant mid-PartialFit-stream for the whole window.
+	var ingestLat []time.Duration
+	var ingestErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if err := do("POST", "/v1/tenants/qbench/ingest", "application/json", bodies[i%pool], http.StatusOK); err != nil {
+				ingestErr = err
+				return
+			}
+			ingestLat = append(ingestLat, time.Since(t0))
+		}
+	}()
+
+	paths := [...]string{
+		"/v1/tenants/qbench/spectrum",
+		"/v1/tenants/qbench/modes",
+		"/v1/tenants/qbench/error",
+		"/v1/tenants/qbench/stats",
+	}
+	type readerResult struct {
+		lat []time.Duration
+		err error
+	}
+	results := make([]readerResult, readers)
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res := &results[r]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if err := do("GET", paths[(r+i)%len(paths)], "", nil, http.StatusOK); err != nil {
+					res.err = err
+					return
+				}
+				res.lat = append(res.lat, time.Since(t0))
+			}
+		}(r)
+	}
+	time.Sleep(measure)
+	close(stop)
+	wg.Wait()
+	wall := time.Since(start)
+
+	if ingestErr != nil {
+		return benchMetric{}, fmt.Errorf("ingest during query bench: %w", ingestErr)
+	}
+	var readLat []time.Duration
+	for _, res := range results {
+		if res.err != nil {
+			return benchMetric{}, fmt.Errorf("reader during query bench: %w", res.err)
+		}
+		readLat = append(readLat, res.lat...)
+	}
+	if len(readLat) == 0 {
+		return benchMetric{}, fmt.Errorf("query bench recorded no reads in %v", measure)
+	}
+	sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+	var readTotal time.Duration
+	for _, d := range readLat {
+		readTotal += d
+	}
+	m := benchMetric{
+		NsPerOp:     int64(readTotal) / int64(len(readLat)),
+		N:           len(readLat),
+		Readers:     readers,
+		ReadsPerSec: float64(len(readLat)) / wall.Seconds(),
+		ReadP50Ms:   float64(stream.Quantile(readLat, 0.50)) / float64(time.Millisecond),
+		ReadP99Ms:   float64(stream.Quantile(readLat, 0.99)) / float64(time.Millisecond),
+	}
+	if len(ingestLat) > 0 {
+		sorted := append([]time.Duration(nil), ingestLat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		m.BatchesPerSec = float64(len(ingestLat)) / wall.Seconds()
+		m.P50Ms = float64(stream.Quantile(sorted, 0.50)) / float64(time.Millisecond)
+		m.P99Ms = float64(stream.Quantile(sorted, 0.99)) / float64(time.Millisecond)
+	}
+	return m, nil
+}

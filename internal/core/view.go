@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+
+	"imrdmd/internal/dmd"
+	"imrdmd/internal/mat"
+)
+
+// View is the cheap read-side summary of an Incremental: everything a
+// query surface publishes after an update, assembled in one pass under
+// the analyzer lock without cloning the tree or re-walking it per field.
+// The spectrum points match Tree().Spectrum() exactly (same node order);
+// the error is measured on the level-1 sample grid (see GridError) so
+// assembling a View after every absorbed block costs O(modes·P·grid)
+// instead of the O(P·T) of a full-resolution reconstruction — the same
+// subsampled-grid trade PartialFit's drift check already makes.
+type View struct {
+	// Spectrum flattens every node's retained modes, in Tree node order
+	// (level 1 first, then each segment's subtree oldest to newest).
+	Spectrum []dmd.SpectrumPoint
+	// NumModes, MaxLevel and Nodes mirror the Tree methods of the same
+	// names; Steps is the absorbed column count and Sensors the spatial
+	// dimension.
+	NumModes int
+	MaxLevel int
+	Nodes    int
+	Steps    int
+	Sensors  int
+	// Updates and Recomputes are the PartialFit / drift-recompute
+	// counters.
+	Updates    int
+	Recomputes int
+	// LastDrift is the drift measured by the most recent PartialFit
+	// (zero before the first update).
+	LastDrift float64
+	// GridError is ‖raw − recon‖_F restricted to the level-1 sample grid
+	// (every stride1-th column): the streaming reconstruction-quality
+	// signal. It is exact on the grid — identical arithmetic to
+	// evaluating Tree().Reconstruct() at the sampled columns — and its
+	// cost is independent of how much history has been absorbed between
+	// samples, which keeps publish-per-update viable at high ingest
+	// rates. The full-resolution ‖raw − Reconstruct()‖_F remains
+	// available through ReconError.
+	GridError float64
+	// GridCols is how many sampled columns GridError spans.
+	GridCols int
+}
+
+// View assembles the published summary. Callers polling at high rates
+// should prefer this over separate Tree()/ReconError() calls: one lock
+// acquisition, no per-node mode cloning, and the grid-restricted error
+// instead of a full-resolution reconstruction.
+func (inc *Incremental) View() View {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	var v View
+	if inc.raw == nil {
+		return v
+	}
+	v.Steps = inc.raw.C
+	v.Sensors = inc.p
+	v.Updates = inc.updates
+	v.Recomputes = inc.recomputes
+	if n := len(inc.driftLog); n > 0 {
+		v.LastDrift = inc.driftLog[n-1]
+	}
+	// Walk the live nodes in Tree order without cloning them — the walk
+	// is read-only and completes before the lock is released.
+	nodes := make([]*Node, 0, 1+len(inc.segments)*4)
+	nodes = append(nodes, inc.level1)
+	for _, seg := range inc.segments {
+		nodes = append(nodes, seg.nodes...)
+	}
+	v.Nodes = len(nodes)
+	for _, nd := range nodes {
+		v.NumModes += len(nd.Modes)
+		if nd.Level > v.MaxLevel {
+			v.MaxLevel = nd.Level
+		}
+	}
+	v.Spectrum = spectrumOf(nodes)
+	v.GridError, v.GridCols = inc.gridErrorLocked(nodes)
+	return v
+}
+
+// gridErrorLocked evaluates ‖raw − recon‖_F over the level-1 sample grid:
+// the summed node reconstructions at the sampled columns against sub1,
+// which holds exactly those columns of raw.
+func (inc *Incremental) gridErrorLocked(nodes []*Node) (float64, int) {
+	ns := inc.sub1.C
+	if ns == 0 {
+		return 0, 0
+	}
+	acc := mat.GetDense(inc.ws, inc.p, ns)
+	for _, nd := range nodes {
+		inc.addNodeOnGrid(acc, nd)
+	}
+	var s float64
+	for i, val := range inc.sub1.Data {
+		d := val - acc.Data[i]
+		s += d * d
+	}
+	mat.PutDense(inc.ws, acc)
+	return math.Sqrt(s), ns
+}
+
+// addNodeOnGrid adds nd's slow reconstruction, evaluated at the level-1
+// sample columns inside nd's window, into acc (P×ns over the grid). Grid
+// column g holds raw column g·stride1, so the node covers grid columns
+// [⌈Start/stride1⌉, ⌈End/stride1⌉).
+func (inc *Incremental) addNodeOnGrid(acc *mat.Dense, nd *Node) {
+	if len(nd.Modes) == 0 {
+		return
+	}
+	st := inc.stride1
+	lo := (nd.Start + st - 1) / st
+	hi := (nd.End + st - 1) / st
+	if hi > acc.C {
+		hi = acc.C
+	}
+	if hi <= lo {
+		return
+	}
+	w := hi - lo
+	times := inc.ws.GetF64(w)
+	for k := 0; k < w; k++ {
+		times[k] = float64((lo+k)*st-nd.Start) * inc.opts.DT
+	}
+	recon := mat.GetDenseRaw(inc.ws, inc.p, w) // ReconstructModesInto zeroes it
+	dmd.ReconstructModesInto(recon, nd.Modes, times)
+	for i := 0; i < inc.p; i++ {
+		dst := acc.Row(i)[lo:hi]
+		src := recon.Row(i)
+		for k := range dst {
+			dst[k] += src[k]
+		}
+	}
+	mat.PutDense(inc.ws, recon)
+	inc.ws.PutF64(times)
+}

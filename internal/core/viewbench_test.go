@@ -1,0 +1,25 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkViewPublish(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data, _ := multiscale(rng, 200, 4000, 1, 0.1)
+	opts := Options{DT: 20, MaxLevels: 6, MaxCycles: 2, UseSVHT: true, Parallel: true, BlockColumns: 8}
+	inc := NewIncremental(opts)
+	if err := inc.InitialFit(data.ColSlice(0, 2000)); err != nil {
+		b.Fatal(err)
+	}
+	for c := 2000; c < 4000; c += 40 {
+		if _, err := inc.PartialFit(data.ColSlice(c, c+40)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = inc.View()
+	}
+}

@@ -8,7 +8,15 @@
 // stream plumbing (stream.Source → stream.Feeder), and the snapshot
 // endpoints expose the internal/codec state serialization that lets a
 // tenant survive process restarts or migrate between servers. See
-// DESIGN.md §8 for the architecture and the endpoint table.
+// DESIGN.md §8 for the architecture and §9 for the read path.
+//
+// The query surface is lock-free: each ingest publishes an immutable
+// PublishedResult (pre-marshaled JSON + strong ETags) through an atomic
+// pointer, and the GET handlers below serve those frozen bytes without
+// touching the tenant mutex. All published responses carry `ETag` and
+// `X-Imrdmd-Version` headers and honor `If-None-Match` with 304;
+// /spectrum additionally accepts `?since=<version>` for delta responses,
+// and /events pushes every publish over SSE.
 //
 // Routes (all tenant state lives under /v1/tenants/{id}):
 //
@@ -20,8 +28,9 @@
 //	POST   /v1/tenants/{id}/ingest    CSV (text/csv) or JSON batches (application/json)
 //	GET    /v1/tenants/{id}/stats     TenantStatus (incl. shard transport stats)
 //	GET    /v1/tenants/{id}/modes     retained mode/level counts
-//	GET    /v1/tenants/{id}/spectrum  per-mode spectrum points
-//	GET    /v1/tenants/{id}/error     reconstruction error over absorbed data
+//	GET    /v1/tenants/{id}/spectrum  per-mode spectrum points (?since=<version> for deltas)
+//	GET    /v1/tenants/{id}/error     grid reconstruction error + drift
+//	GET    /v1/tenants/{id}/events    SSE stream, one event per publish
 //	GET    /v1/tenants/{id}/snapshot  binary analyzer snapshot
 package server
 
@@ -34,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -89,8 +99,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{id}/modes", s.handleModes)
 	mux.HandleFunc("GET /v1/tenants/{id}/spectrum", s.handleSpectrum)
 	mux.HandleFunc("GET /v1/tenants/{id}/error", s.handleError)
+	mux.HandleFunc("GET /v1/tenants/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
 	return mux
+}
+
+// Close ends every tenant's SSE stream so in-flight /events handlers
+// return and http.Server.Shutdown can complete. The tenants themselves
+// stay registered and queryable; Close only severs push subscribers.
+func (s *Server) Close() {
+	s.mu.RLock()
+	list := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range list {
+		t.hub.close()
+	}
 }
 
 // httpError is a handler failure with its status code.
@@ -118,6 +144,44 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// versionHeader carries the published-result version on every read-path
+// response — the value a client hands back via ?since or Last-Event-ID.
+const versionHeader = "X-Imrdmd-Version"
+
+// etagMatch reports whether an If-None-Match header matches a strong
+// ETag: `*` matches anything, otherwise any listed tag equal to ours
+// (weak-validator prefixes stripped; our comparisons are byte-exact
+// bodies, so W/ forms of our own tags still match).
+func etagMatch(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// servePublished writes one pre-marshaled published body: sets ETag and
+// version headers, answers If-None-Match with 304, otherwise streams the
+// frozen bytes. No locks, no allocation of response data.
+func servePublished(w http.ResponseWriter, r *http.Request, version uint64, etag string, body []byte) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set(versionHeader, strconv.FormatUint(version, 10))
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 // tenantID validates the {id} path segment. Ids become file names under
@@ -189,7 +253,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
 	out := make([]TenantStatus, len(list))
 	for i, t := range list {
-		out[i] = t.status()
+		out[i] = t.pub.Load().Status
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -216,7 +280,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, t.status())
+	writeJSON(w, http.StatusCreated, t.pub.Load().Status)
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +298,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, t.status())
+	writeJSON(w, http.StatusCreated, t.pub.Load().Status)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -244,13 +308,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	_, ok := s.tenants[id]
+	t, ok := s.tenants[id]
 	delete(s.tenants, id)
 	s.mu.Unlock()
 	if !ok {
 		writeErr(w, fail(http.StatusNotFound, fmt.Errorf("unknown tenant %q", id)))
 		return
 	}
+	t.hub.close() // end the tenant's SSE streams
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -308,7 +373,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fail(http.StatusBadRequest, err))
 		return
 	}
-	cols, done, err := t.ingest(batches)
+	cols, done, pub, err := t.ingest(batches)
 	if err != nil {
 		// An analyzer rejection mid-stream (e.g. a batch whose row count
 		// disagrees with the fitted sensor dimension) is a client error,
@@ -322,16 +387,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	t.mu.Lock()
-	resp := map[string]any{
+	// The response reads the result THIS ingest published — no second
+	// lock acquisition, and concurrent ingests can't skew the counts.
+	writeJSON(w, http.StatusOK, map[string]any{
 		"columns": cols,
 		"batches": done,
-		"seeded":  t.feeder.Seeded(),
-		"pending": t.feeder.Pending(),
-		"steps":   t.inc.Cols(),
-	}
-	t.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+		"seeded":  pub.Seeded,
+		"pending": pub.Status.Pending,
+		"steps":   pub.Status.Steps,
+		"version": pub.Version,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -340,23 +405,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, t.status())
+	pub := t.pub.Load()
+	servePublished(w, r, pub.Version, pub.StatusETag, pub.StatusJSON)
 }
 
-// seededTenant resolves the request tenant and requires a fitted
-// analyzer — the query endpoints have nothing to report before the seed.
-func (s *Server) seededTenant(r *http.Request) (*tenant, error) {
+// seededPublished resolves the request tenant's current published result
+// and requires a seeded one — the query endpoints have nothing to report
+// before the seed. Entirely lock-free: tenant lookup is the registry
+// RWMutex (not the tenant), and the seeded gate is the frozen flag in
+// the published result itself.
+func (s *Server) seededPublished(r *http.Request) (*tenant, *PublishedResult, error) {
 	t, err := s.lookupReq(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	t.mu.Lock()
-	seeded := t.feeder.Seeded()
-	t.mu.Unlock()
-	if !seeded {
-		return nil, fail(http.StatusConflict, fmt.Errorf("tenant %q has not seeded yet (%s)", t.id, "POST more columns first"))
+	pub := t.pub.Load()
+	if !pub.Seeded {
+		return nil, nil, fail(http.StatusConflict, fmt.Errorf("tenant %q has not seeded yet (%s)", t.id, "POST more columns first"))
 	}
-	return t, nil
+	return t, pub, nil
 }
 
 func (s *Server) lookupReq(r *http.Request) (*tenant, error) {
@@ -368,23 +435,17 @@ func (s *Server) lookupReq(r *http.Request) (*tenant, error) {
 }
 
 func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
-	t, err := s.seededTenant(r)
+	_, pub, err := s.seededPublished(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	t.mu.Lock()
-	tree := t.inc.Tree()
-	t.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"modes":  tree.NumModes(),
-		"levels": tree.MaxLevel(),
-		"nodes":  len(tree.Nodes),
-		"steps":  tree.T,
-	})
+	servePublished(w, r, pub.Version, pub.ModesETag, pub.ModesJSON)
 }
 
-// SpectrumPoint is the wire form of one retained mode.
+// SpectrumPoint is the wire form of one retained mode. A comparable
+// value type on purpose: spectrum deltas are multiset differences over
+// these values.
 type SpectrumPoint struct {
 	Freq  float64 `json:"freq"`
 	Power float64 `json:"power"`
@@ -394,32 +455,55 @@ type SpectrumPoint struct {
 }
 
 func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
-	t, err := s.seededTenant(r)
+	t, pub, err := s.seededPublished(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	t.mu.Lock()
-	pts := t.inc.Tree().Spectrum()
-	t.mu.Unlock()
-	out := make([]SpectrumPoint, len(pts))
-	for i, p := range pts {
-		out[i] = SpectrumPoint{Freq: p.Freq, Power: p.Power, Amp: p.Amp, Grow: p.Grow, Level: p.Level}
+	if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+		since, perr := strconv.ParseUint(sinceStr, 10, 64)
+		if perr != nil {
+			writeErr(w, fail(http.StatusBadRequest, fmt.Errorf("invalid since=%q: %v", sinceStr, perr)))
+			return
+		}
+		s.serveSpectrumDelta(w, r, t, pub, since)
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	body, etag := pub.SpectrumBody()
+	servePublished(w, r, pub.Version, etag, body)
+}
+
+// serveSpectrumDelta answers GET /spectrum?since=v: 304 when v is the
+// current version, an added/removed delta when v is still in the history
+// ring, and a full-spectrum resync otherwise. The delta body depends on
+// the client's v, so it is marshaled per request — but it is typically a
+// handful of points, and the common no-change case is a bodyless 304.
+func (s *Server) serveSpectrumDelta(w http.ResponseWriter, r *http.Request, t *tenant, pub *PublishedResult, since uint64) {
+	w.Header().Set(versionHeader, strconv.FormatUint(pub.Version, 10))
+	if since == pub.Version {
+		_, etag := pub.SpectrumBody()
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	resp := spectrumDeltaResponse{Version: pub.Version, Since: since}
+	if old := t.lookupPublished(since); old != nil && since < pub.Version {
+		resp.Delta = true
+		resp.Added, resp.Removed = spectrumDelta(old.Spectrum, pub.Spectrum)
+	} else {
+		// Aged out of the ring (or a bogus future version): full resync.
+		resp.Spectrum = pub.Spectrum
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleError(w http.ResponseWriter, r *http.Request) {
-	t, err := s.seededTenant(r)
+	_, pub, err := s.seededPublished(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	t.mu.Lock()
-	recon := t.inc.ReconError()
-	steps := t.inc.Cols()
-	t.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"recon_error": recon, "steps": steps})
+	servePublished(w, r, pub.Version, pub.ErrorETag, pub.ErrorJSON)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

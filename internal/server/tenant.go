@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"imrdmd/internal/compute"
@@ -64,21 +65,36 @@ const latencyWindow = 4096
 
 // tenant is one registered stream: an analyzer, the push-based feeder
 // that seeds it, and the ingest accounting its stats endpoint reports.
-// All state is guarded by mu — ingest, query and snapshot calls on the
-// same tenant serialize, while different tenants proceed concurrently on
-// the shared engine.
+// Mutable state is guarded by mu — ingest and snapshot calls on the same
+// tenant serialize, while different tenants proceed concurrently on the
+// shared engine. The QUERY path never touches mu: every state-changing
+// call ends by publishing an immutable PublishedResult through the
+// atomic pub/history pointers, and readers load those.
 type tenant struct {
 	id      string
 	created time.Time
 
-	mu        sync.Mutex
-	opts      TenantOptions
-	inc       *core.Incremental
-	feeder    *stream.Feeder
-	ingests   int
-	batches   int
-	latencies []time.Duration // ring of the last latencyWindow batch latencies
-	latPos    int
+	// seeded latches true when InitialFit has run (set at seed time,
+	// never cleared) so pre-publish callers check seededness without the
+	// tenant lock.
+	seeded atomic.Bool
+	// pub is the current copy-on-write read-side result; history the
+	// immutable ring of recent results backing ?since deltas and SSE
+	// resume. Writers swap whole values; readers only load.
+	pub     atomic.Pointer[PublishedResult]
+	history atomic.Pointer[[]*PublishedResult]
+	hub     pubHub
+
+	mu         sync.Mutex
+	version    uint64 // publish counter; monotone under mu
+	opts       TenantOptions
+	inc        *core.Incremental
+	feeder     *stream.Feeder
+	ingests    int
+	batches    int
+	latencies  []time.Duration // ring of the last latencyWindow batch latencies
+	latPos     int
+	latScratch []time.Duration // reusable sort buffer for the quantiles
 }
 
 // newTenant validates opts (through the core Options.Validate path) and
@@ -98,7 +114,11 @@ func newTenant(id string, opts TenantOptions, eng *compute.Engine, defaultInitia
 	if err != nil {
 		return nil, err
 	}
-	return &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: feeder}, nil
+	t := &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: feeder}
+	t.mu.Lock()
+	t.publishLocked()
+	t.mu.Unlock()
+	return t, nil
 }
 
 // restoreTenant rebuilds a tenant from a snapshot stream, landing the
@@ -126,28 +146,83 @@ func restoreTenant(id string, r io.Reader, eng *compute.Engine) (*tenant, error)
 		AsyncRecompute: inc.AsyncRecompute,
 		InitialCols:    inc.Cols(),
 	}
-	return &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: stream.ResumeFeeder(inc)}, nil
+	t := &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: stream.ResumeFeeder(inc)}
+	t.mu.Lock()
+	t.publishLocked()
+	t.mu.Unlock()
+	return t, nil
 }
 
 // ingest pushes already-decoded batches through the feeder, recording
 // per-batch latency. It returns how many columns and batches were
 // absorbed — on error, the counts say how far the ingest got before the
-// failing batch (everything before it is permanently absorbed).
-func (t *tenant) ingest(batches []*mat.Dense) (cols, done int, err error) {
+// failing batch (everything before it is permanently absorbed). The
+// final state — complete or partial — is published as the new read-side
+// result before the lock is released, so queries observe every ingest
+// exactly once and never a half-applied one.
+func (t *tenant) ingest(batches []*mat.Dense) (cols, done int, pub *PublishedResult, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.ingests++
+	defer func() { pub = t.publishLocked() }()
 	for _, b := range batches {
 		start := time.Now()
-		if err := t.feeder.Push(b); err != nil {
-			return cols, done, err
+		if perr := t.feeder.Push(b); perr != nil {
+			return cols, done, nil, perr
 		}
 		t.recordLatency(time.Since(start))
 		cols += b.C
 		done++
 		t.batches++
 	}
-	return cols, done, nil
+	return cols, done, nil, nil
+}
+
+// publishLocked assembles the immutable read-side result from the
+// current analyzer state and swaps it into the atomic pointer, the
+// history ring, and every SSE subscriber's queue. Requires t.mu; it is
+// the ONLY writer of the atomics, so results are stored in version
+// order. The assembly is deliberately cheap — core.View walks the live
+// tree once (no clones, grid-restricted error) and the four payloads
+// marshal small structs — so publishing per ingest does not perturb the
+// ingest latency the dashboards are watching.
+func (t *tenant) publishLocked() *PublishedResult {
+	t.version++
+	seeded := t.feeder.Seeded()
+	if seeded {
+		t.seeded.Store(true)
+	}
+	pub := newPublishedResult(t.version, seeded, t.inc.View(), t.statusLocked())
+	t.pub.Store(pub)
+	old := t.history.Load()
+	var hist []*PublishedResult
+	if old != nil {
+		tail := *old
+		if len(tail) >= pubHistoryLen {
+			tail = tail[len(tail)-pubHistoryLen+1:]
+		}
+		hist = make([]*PublishedResult, 0, len(tail)+1)
+		hist = append(hist, tail...)
+	}
+	hist = append(hist, pub)
+	t.history.Store(&hist)
+	t.hub.broadcast(pub)
+	return pub
+}
+
+// lookupPublished finds a still-retained published result by version
+// (nil when it has aged out of the ring). Lock-free.
+func (t *tenant) lookupPublished(version uint64) *PublishedResult {
+	h := t.history.Load()
+	if h == nil {
+		return nil
+	}
+	for _, p := range *h {
+		if p.Version == version {
+			return p
+		}
+	}
+	return nil
 }
 
 func (t *tenant) recordLatency(d time.Duration) {
@@ -160,19 +235,31 @@ func (t *tenant) recordLatency(d time.Duration) {
 }
 
 // latencyQuantiles returns the p50 and p99 of the recorded batch
-// latencies (zeros when nothing has been ingested).
+// latencies (zeros when nothing has been ingested). The sort runs on a
+// scratch slice retained across calls — sized once to the ring cap — so
+// computing the published quantiles allocates nothing under the tenant
+// lock. (Before the publish layer this copied-and-sorted the whole ring
+// on every /stats request; now it runs once per ingest.)
 func (t *tenant) latencyQuantiles() (p50, p99 time.Duration) {
-	if len(t.latencies) == 0 {
+	n := len(t.latencies)
+	if n == 0 {
 		return 0, 0
 	}
-	s := append([]time.Duration(nil), t.latencies...)
+	if cap(t.latScratch) < n {
+		t.latScratch = make([]time.Duration, latencyWindow)
+	}
+	s := t.latScratch[:n]
+	copy(s, t.latencies)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	return stream.Quantile(s, 0.50), stream.Quantile(s, 0.99)
 }
 
 // TenantStatus is the wire form of one tenant's state summary.
 type TenantStatus struct {
-	ID      string  `json:"id"`
+	ID string `json:"id"`
+	// Version is the published-result version this status was frozen at
+	// — the value ?since and SSE Last-Event-ID speak.
+	Version uint64  `json:"version"`
 	Created string  `json:"created"`
 	Seeded  bool    `json:"seeded"`
 	Pending int     `json:"pending_columns"`
@@ -191,14 +278,14 @@ type TenantStatus struct {
 	Shard *shard.Stats `json:"shard,omitempty"`
 }
 
-// status snapshots the tenant summary. Safe to call concurrently with
-// ingest on other tenants; serializes with this tenant's own ingest.
-func (t *tenant) status() TenantStatus {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// statusLocked snapshots the tenant summary for publication. Requires
+// t.mu (it reads the ingest accounting); query traffic reads the frozen
+// copy inside the published result instead of calling this.
+func (t *tenant) statusLocked() TenantStatus {
 	p50, p99 := t.latencyQuantiles()
 	st := TenantStatus{
 		ID:      t.id,
+		Version: t.version,
 		Created: t.created.UTC().Format(time.RFC3339),
 		Seeded:  t.feeder.Seeded(),
 		Pending: t.feeder.Pending(),
@@ -222,13 +309,14 @@ func (t *tenant) status() TenantStatus {
 // sink while holding it keeps a slow snapshot downloader (or a stalled
 // disk) from blocking the tenant's ingest path — the same
 // lock-across-client-I/O rule the ingest side follows. Unseeded tenants
-// have no incremental state to save.
+// have no incremental state to save — checked on the latched atomic
+// flag, so the refusal does not touch the tenant lock.
 func (t *tenant) snapshot() ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.feeder.Seeded() {
+	if !t.seeded.Load() {
 		return nil, errSnapshotUnseeded
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var buf bytes.Buffer
 	if err := t.inc.Snapshot(&buf); err != nil {
 		return nil, err
