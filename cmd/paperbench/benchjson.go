@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -29,10 +30,78 @@ type benchSnapshot struct {
 	GOOS         string                 `json:"goos"`
 	GOARCH       string                 `json:"goarch"`
 	GoVersion    string                 `json:"go_version"`
+	GOAMD64      string                 `json:"goamd64,omitempty"`
 	GOMAXPROCS   int                    `json:"gomaxprocs"`
 	Workers      int                    `json:"workers"`
 	BlockColumns int                    `json:"block_columns"`
+	Kernel       benchKernel            `json:"kernel"`
 	Benchmarks   map[string]benchMetric `json:"benchmarks"`
+}
+
+// benchKernel records the GEMM dispatch configuration the snapshot ran
+// under — without the ISA tier and derived blocking, kernel GFLOPS are not
+// comparable across hosts or across PRs that change the autotuner.
+type benchKernel struct {
+	// Tier is the micro-kernel family chosen at boot: "avx512", "avx2" or
+	// "generic" (hardware-detected, possibly capped by IMRDMD_GEMM_KERNEL).
+	Tier string `json:"tier"`
+	// Tuned is false when IMRDMD_GEMM_TUNE=off pinned the historical
+	// blocking instead of deriving it from the cache probe.
+	Tuned bool `json:"tuned"`
+	// L1D/L2/L3 are the probed per-core cache sizes in bytes (0 = unknown).
+	L1DBytes int `json:"l1d_bytes,omitempty"`
+	L2Bytes  int `json:"l2_bytes,omitempty"`
+	L3Bytes  int `json:"l3_bytes,omitempty"`
+	// F64/F32 are the per-precision tile geometry and KC/MC/NC blocking.
+	F64 benchKernelParams `json:"f64"`
+	F32 benchKernelParams `json:"f32"`
+}
+
+type benchKernelParams struct {
+	MR int `json:"mr"`
+	NR int `json:"nr"`
+	KC int `json:"kc"`
+	MC int `json:"mc"`
+	NC int `json:"nc"`
+}
+
+func kernelSnapshot() benchKernel {
+	ki := mat.Kernel()
+	pub := func(p mat.KernelParams) benchKernelParams {
+		return benchKernelParams{MR: p.MR, NR: p.NR, KC: p.KC, MC: p.MC, NC: p.NC}
+	}
+	return benchKernel{
+		Tier:     ki.Tier,
+		Tuned:    ki.Tuned,
+		L1DBytes: ki.L1D,
+		L2Bytes:  ki.L2,
+		L3Bytes:  ki.L3,
+		F64:      pub(ki.F64),
+		F32:      pub(ki.F32),
+	}
+}
+
+// printKernelInfo dumps the boot-time GEMM configuration (the -kernel-info
+// flag; CI's bench smoke prints it so every log records which tier ran).
+func printKernelInfo() {
+	ki := mat.Kernel()
+	fmt.Printf("gemm kernel: tier=%s tuned=%v goamd64=%q\n", ki.Tier, ki.Tuned, goamd64Setting())
+	fmt.Printf("caches: L1d=%d L2=%d L3=%d bytes\n", ki.L1D, ki.L2, ki.L3)
+	fmt.Printf("f64: MR=%d NR=%d KC=%d MC=%d NC=%d\n", ki.F64.MR, ki.F64.NR, ki.F64.KC, ki.F64.MC, ki.F64.NC)
+	fmt.Printf("f32: MR=%d NR=%d KC=%d MC=%d NC=%d\n", ki.F32.MR, ki.F32.NR, ki.F32.KC, ki.F32.MC, ki.F32.NC)
+}
+
+// goamd64Setting reports the GOAMD64 microarchitecture level the binary
+// was compiled for (from the embedded build info; empty if unrecorded).
+func goamd64Setting() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	return ""
 }
 
 type benchMetric struct {
@@ -90,64 +159,78 @@ func writeBenchJSON(path string, workers int) error {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		GoVersion:    runtime.Version(),
+		GOAMD64:      goamd64Setting(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Workers:      workers,
 		BlockColumns: blockColumns,
+		Kernel:       kernelSnapshot(),
 		Benchmarks:   map[string]benchMetric{},
 	}
 
+	// Kernel sweep over the cache-behavior regimes: 256 (operands fit L2),
+	// 512 (the historical trajectory size) and 1024 (panel streaming from
+	// L3). Each size gets multiply and Gram in both precision tiers; the
+	// f32/f64 GFLOPS ratio at equal shape is the mixed-precision kernel
+	// speedup. MulT rides along at 512 only (its packing absorbs the
+	// transpose, so its rate tracks mul's).
 	rng := rand.New(rand.NewSource(1))
-	const n = 512
-	a := mat.NewDense(n, n)
-	b := mat.NewDense(n, n)
-	for i := range a.Data {
-		a.Data[i] = rng.NormFloat64()
-		b.Data[i] = rng.NormFloat64()
-	}
 	// Route through the same engine the workers flag selects so the
 	// snapshot's numbers match its recorded configuration.
 	eng := compute.Shared(workers)
-	const mulFlops = 2 * int64(n) * int64(n) * int64(n)
-	snap.Benchmarks["mul_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			_ = mat.MulWith(eng, nil, a, b)
+	for _, n := range []int{256, 512, 1024} {
+		a := mat.NewDense(n, n)
+		b := mat.NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
 		}
-	}), mulFlops)
-	snap.Benchmarks["mult_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			_ = mat.MulTWith(eng, nil, a, b)
+		a32 := mat.NewDense32(n, n)
+		b32 := mat.NewDense32(n, n)
+		for i := range a32.Data {
+			a32.Data[i] = float32(a.Data[i])
+			b32.Data[i] = float32(b.Data[i])
 		}
-	}), mulFlops)
-	snap.Benchmarks["gram_rows_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			_ = mat.GramWith(eng, nil, a, false)
+		mulFlops := 2 * int64(n) * int64(n) * int64(n)
+		sz := fmt.Sprintf("%dx%d", n, n)
+		snap.Benchmarks["mul_"+sz] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				_ = mat.MulWith(eng, nil, a, b)
+			}
+		}), mulFlops)
+		snap.Benchmarks["gram_rows_"+sz] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				_ = mat.GramWith(eng, nil, a, false)
+			}
+		}), mulFlops)
+		snap.Benchmarks["mul_f32_"+sz] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				_ = mat.MulWith(eng, nil, a32, b32)
+			}
+		}), mulFlops)
+		snap.Benchmarks["gram_rows_f32_"+sz] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				_ = mat.GramWith(eng, nil, a32, false)
+			}
+		}), mulFlops)
+		if n == 512 {
+			snap.Benchmarks["mult_"+sz] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					_ = mat.MulTWith(eng, nil, a, b)
+				}
+			}), mulFlops)
+			snap.Benchmarks["mult_f32_"+sz] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					_ = mat.MulTWith(eng, nil, a32, b32)
+				}
+			}), mulFlops)
 		}
-	}), mulFlops)
-
-	// Screening-tier kernels on the same shapes: the f32/f64 GFLOPS ratio
-	// at 512×512 is the mixed-precision tier's kernel speedup (the 8-wide
-	// 4×8 micro-kernel vs the 4-wide 4×4 one).
-	a32 := mat.NewDense32(n, n)
-	b32 := mat.NewDense32(n, n)
-	for i := range a32.Data {
-		a32.Data[i] = float32(a.Data[i])
-		b32.Data[i] = float32(b.Data[i])
 	}
-	snap.Benchmarks["mul_f32_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			_ = mat.MulWith(eng, nil, a32, b32)
-		}
-	}), mulFlops)
-	snap.Benchmarks["mult_f32_512x512"] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			_ = mat.MulTWith(eng, nil, a32, b32)
-		}
-	}), mulFlops)
 
 	// Fixed streaming episode per iteration: rebuild the analyzer (off
 	// the clock) and time five 40-column partial fits over T=2000→2200.

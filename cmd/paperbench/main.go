@@ -34,8 +34,13 @@ func main() {
 		workers = flag.Int("workers", 0, "compute-engine worker lanes for the -bench-json run (0 = GOMAXPROCS); experiment paths use the default pool")
 		bjson   = flag.String("bench-json", "", "write a Mul/PartialFit benchmark snapshot (ns/op, allocs/op) to this file, e.g. BENCH_pr1.json, and exit")
 		qsmoke  = flag.Bool("query-smoke", false, "run a short query-throughput smoke (2 readers, ~0.3s) and exit")
+		kinfo   = flag.Bool("kernel-info", false, "print the GEMM kernel tier, probed caches and derived blocking, and exit")
 	)
 	flag.Parse()
+	if *kinfo {
+		printKernelInfo()
+		return
+	}
 	if *qsmoke {
 		m, err := queryThroughput(*workers, 8, 2, 300*time.Millisecond)
 		if err != nil {

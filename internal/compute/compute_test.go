@@ -223,3 +223,32 @@ func TestSharedEnginesAreCached(t *testing.T) {
 		t.Fatalf("Shared(2).Workers() = %d", Shared(2).Workers())
 	}
 }
+
+// TestWorkspaceLargeClassCap checks the tighter retention bound on
+// megabyte-scale size classes: small classes keep maxPerClass buffers,
+// large ones only largeClassCap, and excess large Puts are dropped rather
+// than pinned (returning a dropped buffer allocates fresh).
+func TestWorkspaceLargeClassCap(t *testing.T) {
+	if got := classCap(1 << 10); got != maxPerClass {
+		t.Fatalf("classCap(small) = %d, want %d", got, maxPerClass)
+	}
+	if got := classCap(largeClassMin); got != largeClassCap {
+		t.Fatalf("classCap(large) = %d, want %d", got, largeClassCap)
+	}
+
+	ws := NewWorkspace()
+	const n = largeClassMin
+	bufs := make([][]float64, largeClassCap+2)
+	for i := range bufs {
+		bufs[i] = ws.GetF64(n)
+	}
+	for _, b := range bufs {
+		ws.PutF64(b)
+	}
+	for i := 0; i < largeClassCap+2; i++ {
+		_ = ws.GetF64(n)
+	}
+	if _, hits := ws.Stats(); hits != largeClassCap {
+		t.Fatalf("pool served %d large buffers, want exactly %d retained", hits, largeClassCap)
+	}
+}

@@ -39,6 +39,25 @@ type Workspace struct {
 // transient burst cannot pin memory forever.
 const maxPerClass = 32
 
+// largeClassMin is the element count from which a size class counts as
+// large and retains at most largeClassCap buffers. Autotuned GEMM blocking
+// (mat's pack buffers) can push single classes past a megabyte; 32 retained
+// megabyte-scale buffers would pin tens of MB per pool, and no workload
+// holds more than a handful of large buffers concurrently (one B panel
+// plus one A panel per worker).
+const (
+	largeClassMin = 1 << 20
+	largeClassCap = 4
+)
+
+// classCap is the retention bound for size class c.
+func classCap(c int) int {
+	if c >= largeClassMin {
+		return largeClassCap
+	}
+	return maxPerClass
+}
+
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace {
 	return &Workspace{
@@ -99,7 +118,7 @@ func (ws *Workspace) PutF64(b []float64) {
 		return
 	}
 	ws.mu.Lock()
-	if len(ws.f64[c]) < maxPerClass {
+	if len(ws.f64[c]) < classCap(c) {
 		ws.f64[c] = append(ws.f64[c], b[:c])
 	}
 	ws.mu.Unlock()
@@ -139,7 +158,7 @@ func (ws *Workspace) PutF32(b []float32) {
 		return
 	}
 	ws.mu.Lock()
-	if len(ws.f32[c]) < maxPerClass {
+	if len(ws.f32[c]) < classCap(c) {
 		ws.f32[c] = append(ws.f32[c], b[:c])
 	}
 	ws.mu.Unlock()
@@ -225,7 +244,7 @@ func (ws *Workspace) PutC128(b []complex128) {
 		return
 	}
 	ws.mu.Lock()
-	if len(ws.c128[c]) < maxPerClass {
+	if len(ws.c128[c]) < classCap(c) {
 		ws.c128[c] = append(ws.c128[c], b[:c])
 	}
 	ws.mu.Unlock()

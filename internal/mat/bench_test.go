@@ -10,7 +10,7 @@ func benchDense(r, c int, seed int64) *Dense {
 }
 
 func BenchmarkMul(b *testing.B) {
-	for _, n := range []int{64, 256, 512} {
+	for _, n := range []int{64, 256, 512, 1024} {
 		b.Run(benchSize(n), func(b *testing.B) {
 			a := benchDense(n, n, 1)
 			c := benchDense(n, n, 2)
@@ -24,7 +24,7 @@ func BenchmarkMul(b *testing.B) {
 }
 
 func BenchmarkMulInto(b *testing.B) {
-	for _, n := range []int{64, 256, 512} {
+	for _, n := range []int{64, 256, 512, 1024} {
 		b.Run(benchSize(n), func(b *testing.B) {
 			a := benchDense(n, n, 1)
 			c := benchDense(n, n, 2)
@@ -39,7 +39,7 @@ func BenchmarkMulInto(b *testing.B) {
 }
 
 func BenchmarkMulT(b *testing.B) {
-	for _, n := range []int{64, 256, 512} {
+	for _, n := range []int{64, 256, 512, 1024} {
 		b.Run(benchSize(n), func(b *testing.B) {
 			a := benchDense(n, n, 1)
 			c := benchDense(n, n, 2)
@@ -60,6 +60,8 @@ func benchSize(n int) string {
 		return "256x256"
 	case 512:
 		return "512x512"
+	case 1024:
+		return "1024x1024"
 	}
 	return "n"
 }

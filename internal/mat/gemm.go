@@ -11,54 +11,46 @@ import (
 // update), generic over the element type. The layout follows the classic
 // Goto/BLIS decomposition:
 //
-//	for jc over N by ncBlock:            (B panel column block)
-//	  for pc over K by kcBlock:          (depth block)
-//	    pack B[pc:pc+kc, jc:jc+nc]  →  bp  (strips of nr columns)
-//	    for ic over M by mcBlock:        (A panel row block, parallel unit)
-//	      pack A[ic:ic+mc, pc:pc+kc] → ap  (strips of mrTile rows)
-//	      macro-kernel: mrTile×nr register tiles over (ap, bp)
+//	for jc over N by NC:                (B panel column block)
+//	  for pc over K by KC:              (depth block)
+//	    pack B[pc:pc+kc, jc:jc+nc]  →  bp  (strips of NR columns)
+//	    for ic over M by MC:            (A panel row block, parallel unit)
+//	      pack A[ic:ic+mc, pc:pc+kc] → ap  (strips of MR rows)
+//	      macro-kernel: MR×NR register tiles over (ap, bp)
 //
-// Packing copies both operands into contiguous, tile-ordered buffers so the
-// micro-kernel streams unit-stride with no bounds-check or stride math in
-// the inner loop, and so transposed operands (MulT, Gram's m·mᵀ) cost the
-// same as plain ones — the transpose is absorbed by the packing read. Pack
-// buffers are borrowed from a package-level compute.Workspace (which pools
-// float32 and float64 size classes separately), so steady state packs are
-// allocation-free in both tiers.
+// Packing (pack.go) copies both operands into contiguous, tile-ordered
+// buffers so the micro-kernel streams unit-stride with no bounds-check or
+// stride math in the inner loop, and so transposed operands (MulT, Gram's
+// m·mᵀ) cost the same as plain ones — the transpose is absorbed by the
+// packing read. Pack buffers are borrowed from a package-level
+// compute.Workspace (which pools float32 and float64 size classes
+// separately), so steady state packs are allocation-free in both tiers.
 //
-// The micro-kernel is per-type: the tile is always mrTile rows tall, and
-// its width is one 256-bit vector of elements — 4 for float64, 8 for
-// float32 (nrOf). float64 keeps the existing hand-unrolled 4×4 kernel
-// (AVX2+FMA asm on amd64, portable Go elsewhere) bit-for-bit unchanged;
-// float32 dispatches to a 4×8 kernel (gemm32_amd64.s / gemm32_generic.go)
-// whose doubled vector width is where the screening tier's ~2× throughput
-// comes from. Edge tiles (mr<4 or nr<tile width) run the same kernel into
-// a zero-padded scratch tile and merge the valid region, so the hot path
-// has no remainder branches.
+// Tile geometry and cache blocking are per-ISA and per-type, resolved at
+// boot (tune.go): the micro-tile is MR rows by one vector of elements —
+// 4×4 f64 / 4×8 f32 on the 256-bit tiers, 8×8 f64 / 8×16 f32 on the
+// AVX-512 tier — and KC/MC/NC are derived from the probed cache sizes
+// (IMRDMD_GEMM_TUNE=off pins the historical 256/128/512). Edge tiles
+// (rows < MR or width < NR) run the same kernel into a zero-padded
+// scratch tile and merge the valid region, so the hot path has no
+// remainder branches.
 //
-// Parallelism: the engine fans out over mcBlock row panels (each worker
-// packs its own A panels; the B panel is packed once by the caller and
-// shared read-only). Panel boundaries align with tile boundaries and each
-// output element is owned by exactly one worker with the same per-element
+// Parallelism: the engine fans out over MC row panels (each worker packs
+// its own A panels; the B panel is packed once by the caller and shared
+// read-only). Panel boundaries align with tile boundaries and each output
+// element is owned by exactly one worker with the same per-element
 // accumulation order as the serial loop, so engine and serial runs agree
 // bit for bit (mul_parallel_test.go and gemm_test.go pin this).
 const (
-	mrTile = 4 // micro-kernel rows (register tile height, both tiers)
-	nrMax  = 8 // widest micro-kernel tile (float32)
-
-	// kcBlock × nr is one packed B strip (8 KiB for f64, 8 KiB for f32 at
-	// double width): resident in L1 across a whole row of tiles. mcBlock ×
-	// kcBlock is one packed A panel (≤ 256 KiB): resident in L2 across the
-	// nc loop. ncBlock bounds the shared B panel (≤ 1 MiB) so it stays
-	// cache-friendly while amortizing A packing over as many columns as
-	// possible.
-	kcBlock = 256
-	mcBlock = 128
-	ncBlock = 512
+	mrMax = 8  // tallest micro-kernel tile (AVX-512 tiers)
+	nrMax = 16 // widest micro-kernel tile (float32 AVX-512)
 
 	// gemmMinFlops is the m·k·n product below which the naive loops win:
-	// packing two operands costs O(m·k + k·n) copies, which only pays
-	// for itself once every packed element is reused a few times.
+	// packing two operands costs O(m·k + k·n) copies, which only pays for
+	// itself once every packed element is reused a few times. Revalidated
+	// for the asm pack routines (PR 7): the measured crossover on both the
+	// AVX2 and AVX-512 tiers sits just under this boundary
+	// (threshold_test.go pins the routing decision).
 	gemmMinFlops = 1 << 14
 )
 
@@ -76,14 +68,6 @@ const (
 // in steady state.
 var packPool = compute.NewWorkspace()
 
-// nrOf is the micro-kernel tile width for element type T: one 256-bit
-// vector of elements (4 float64, 8 float32). The sizeof comparison is a
-// per-instantiation constant, so the expression folds at compile time.
-func nrOf[T Element]() int {
-	var z T
-	return 32 / int(unsafe.Sizeof(z))
-}
-
 // sliceOf reinterprets a float slice as its concrete element type (E and T
 // are the same size whenever this is called, so the cast is layout-exact).
 // It lets the generic macro-kernel hand packed strips to the non-generic,
@@ -95,16 +79,26 @@ func sliceOf[E, T Element](s []T) []E {
 	return unsafe.Slice((*E)(unsafe.Pointer(&s[0])), len(s))
 }
 
-// gemmKernel dispatches one register tile to the per-type micro-kernel:
-// float64 → 4×4 (AVX2+FMA asm or portable Go), float32 → 4×8. The type
-// branch folds per instantiation; the call itself is direct.
+// gemmKernel dispatches one register tile to the per-type, per-tier
+// micro-kernel: 4×4 f64 / 4×8 f32 on the generic and AVX2 tiers, 8×16 in
+// both precisions on the AVX-512 tier. The type branch folds per
+// instantiation; the tier is the same one gemmParams sized the packed
+// strips for.
 func gemmKernel[T Element](c []T, ldc int, ap, bp []T, kc, mode int) {
 	var z T
 	if unsafe.Sizeof(z) == 8 {
-		gemmKernel4x4(sliceOf[float64](c), ldc, sliceOf[float64](ap), sliceOf[float64](bp), kc, mode)
+		if gemmTier == tierAVX512 {
+			gemmKernel8x16d(sliceOf[float64](c), ldc, sliceOf[float64](ap), sliceOf[float64](bp), kc, mode)
+		} else {
+			gemmKernel4x4(sliceOf[float64](c), ldc, sliceOf[float64](ap), sliceOf[float64](bp), kc, mode)
+		}
 		return
 	}
-	gemmKernel4x8(sliceOf[float32](c), ldc, sliceOf[float32](ap), sliceOf[float32](bp), kc, mode)
+	if gemmTier == tierAVX512 {
+		gemmKernel8x16s(sliceOf[float32](c), ldc, sliceOf[float32](ap), sliceOf[float32](bp), kc, mode)
+	} else {
+		gemmKernel4x8(sliceOf[float32](c), ldc, sliceOf[float32](ap), sliceOf[float32](bp), kc, mode)
+	}
 }
 
 // view is a strided window into row-major storage: element (i, j) lives at
@@ -160,40 +154,45 @@ func gemmView[T Element](e *compute.Engine, dst view[T], a view[T], aT bool, b v
 		}
 		return
 	}
-	nr := nrOf[T]()
+	p := gemmParams[T]()
+	mr, nr := p.mr, p.nr
 
 	// The parallel unit is normally a full MC panel. A matrix shorter than
 	// one panel would lose all fan-out, so its single panel is subdivided
-	// into mrTile-aligned row bands, one per lane: strip boundaries stay on
-	// the same global 4-row grid and every output element keeps its serial
+	// into mr-aligned row bands, one per lane: strip boundaries stay on
+	// the same global mr-row grid and every output element keeps its serial
 	// per-element accumulation order, so the result is still bit-identical
 	// to the serial run for any band size.
-	unit := mcBlock
+	unit := p.mc
 	wantParallel := fanOut(e, m*k*n)
-	if wantParallel && m <= mcBlock && m >= 2*mrTile {
+	if wantParallel && m <= p.mc && m >= 2*mr {
 		perLane := (m + e.Workers() - 1) / e.Workers()
-		unit = (perLane + mrTile - 1) / mrTile * mrTile
+		unit = (perLane + mr - 1) / mr * mr
 	}
 	panels := (m + unit - 1) / unit
 	parallel := panels > 1 && wantParallel
 
-	bp := compute.GetFloats[T](packPool, ((ncBlock+nr-1)/nr)*nr*kcBlock)
-	for jc := 0; jc < n; jc += ncBlock {
-		nc := min(ncBlock, n-jc)
-		for pc := 0; pc < k; pc += kcBlock {
-			kc := min(kcBlock, k-pc)
+	// Pack buffers are sized for the problem at hand, not the blocking
+	// maxima, so small multiplies after an autotuned NC/KC widening do not
+	// borrow multi-megabyte size classes they never touch.
+	kcMax := min(p.kc, k)
+	bp := compute.GetFloats[T](packPool, ((min(p.nc, n)+nr-1)/nr)*nr*kcMax)
+	for jc := 0; jc < n; jc += p.nc {
+		nc := min(p.nc, n-jc)
+		for pc := 0; pc < k; pc += p.kc {
+			kc := min(p.kc, k-pc)
 			packB(bp, b, bT, pc, kc, jc, nc, nr)
 			md := mode
 			if mode == gemmSet && pc > 0 {
 				md = gemmAdd
 			}
 			run := func(lo, hi int) {
-				ap := compute.GetFloats[T](packPool, unit*kcBlock)
+				ap := compute.GetFloats[T](packPool, unit*kcMax)
 				for pi := lo; pi < hi; pi++ {
 					ic := pi * unit
 					mc := min(unit, m-ic)
-					packA(ap, a, aT, ic, mc, pc, kc)
-					gemmMacro(dst, ap, bp, ic, mc, jc, nc, kc, nr, md)
+					packA(ap, a, aT, ic, mc, pc, kc, mr)
+					gemmMacro(dst, ap, bp, ic, mc, jc, nc, kc, mr, nr, md)
 				}
 				compute.PutFloats(packPool, ap)
 			}
@@ -207,135 +206,28 @@ func gemmView[T Element](e *compute.Engine, dst view[T], a view[T], aT bool, b v
 	compute.PutFloats(packPool, bp)
 }
 
-// packA copies the mc×kc block of A at (ic, pc) into ap as strips of
-// mrTile rows: strip s holds rows [ic+s·mr, ic+s·mr+mr) laid out p-major
-// (ap[s·kc·mr + p·mr + r]), zero-padded to a full strip at the edge. When
-// aT is set the logical A is aᵀ, i.e. element (i, p) reads a.data[p][i].
-func packA[T Element](ap []T, a view[T], aT bool, ic, mc, pc, kc int) {
-	off := 0
-	for s := 0; s < mc; s += mrTile {
-		mr := min(mrTile, mc-s)
-		if aT {
-			for p := 0; p < kc; p++ {
-				src := a.data[(pc+p)*a.stride+ic+s:]
-				for r := 0; r < mr; r++ {
-					ap[off+r] = src[r]
-				}
-				for r := mr; r < mrTile; r++ {
-					ap[off+r] = 0
-				}
-				off += mrTile
-			}
-			continue
-		}
-		r0 := a.data[(ic+s)*a.stride+pc:]
-		var r1, r2, r3 []T
-		if mr > 1 {
-			r1 = a.data[(ic+s+1)*a.stride+pc:]
-		}
-		if mr > 2 {
-			r2 = a.data[(ic+s+2)*a.stride+pc:]
-		}
-		if mr > 3 {
-			r3 = a.data[(ic+s+3)*a.stride+pc:]
-		}
-		switch mr {
-		case 4:
-			for p := 0; p < kc; p++ {
-				ap[off] = r0[p]
-				ap[off+1] = r1[p]
-				ap[off+2] = r2[p]
-				ap[off+3] = r3[p]
-				off += 4
-			}
-		default:
-			for p := 0; p < kc; p++ {
-				ap[off] = r0[p]
-				if mr > 1 {
-					ap[off+1] = r1[p]
-				} else {
-					ap[off+1] = 0
-				}
-				if mr > 2 {
-					ap[off+2] = r2[p]
-				} else {
-					ap[off+2] = 0
-				}
-				ap[off+3] = 0
-				off += 4
-			}
-		}
-	}
-}
-
-// packB copies the kc×nc block of B at (pc, jc) into bp as strips of nr
-// columns: strip s holds columns [jc+s·nr, jc+s·nr+nr) laid out p-major
-// (bp[s·kc·nr + p·nr + t]), zero-padded at the edge. When bT is set the
-// logical B is bᵀ, i.e. element (p, j) reads b.data[j][p].
-func packB[T Element](bp []T, b view[T], bT bool, pc, kc, jc, nc, nr int) {
-	off := 0
-	for s := 0; s < nc; s += nr {
-		w := min(nr, nc-s)
-		if bT {
-			// Columns of the logical B are rows of b; gather w of them.
-			var cols [nrMax][]T
-			for t := 0; t < w; t++ {
-				cols[t] = b.data[(jc+s+t)*b.stride+pc:]
-			}
-			for p := 0; p < kc; p++ {
-				for t := 0; t < w; t++ {
-					bp[off+t] = cols[t][p]
-				}
-				for t := w; t < nr; t++ {
-					bp[off+t] = 0
-				}
-				off += nr
-			}
-			continue
-		}
-		if w == nr {
-			for p := 0; p < kc; p++ {
-				src := b.data[(pc+p)*b.stride+jc+s : (pc+p)*b.stride+jc+s+nr]
-				copy(bp[off:off+nr], src)
-				off += nr
-			}
-		} else {
-			for p := 0; p < kc; p++ {
-				src := b.data[(pc+p)*b.stride+jc+s:]
-				for t := 0; t < w; t++ {
-					bp[off+t] = src[t]
-				}
-				for t := w; t < nr; t++ {
-					bp[off+t] = 0
-				}
-				off += nr
-			}
-		}
-	}
-}
-
 // gemmMacro runs the register-tile sweep of one packed A panel against the
 // packed B panel: B strips outer (each strip stays L1-resident across the
 // panel's rows), A strips inner. Interior tiles store straight into dst;
 // edge tiles go through a zero-padded scratch tile and merge.
-func gemmMacro[T Element](dst view[T], ap, bp []T, ic, mc, jc, nc, kc, nr, mode int) {
-	var tile [mrTile * nrMax]T
+func gemmMacro[T Element](dst view[T], ap, bp []T, ic, mc, jc, nc, kc, mr, nr, mode int) {
+	var tile [mrMax * nrMax]T
 	for js := 0; js < nc; js += nr {
 		bstrip := bp[(js/nr)*kc*nr:]
 		w := min(nr, nc-js)
-		for is := 0; is < mc; is += mrTile {
-			astrip := ap[(is/mrTile)*kc*mrTile:]
-			mr := min(mrTile, mc-is)
+		for is := 0; is < mc; is += mr {
+			astrip := ap[(is/mr)*kc*mr:]
+			rows := min(mr, mc-is)
 			ci := (ic+is)*dst.stride + jc + js
-			if mr == mrTile && w == nr {
+			if rows == mr && w == nr {
 				gemmKernel(dst.data[ci:], dst.stride, astrip, bstrip, kc, mode)
 				continue
 			}
-			for i := range tile[:mrTile*nr] {
+			for i := range tile[:mr*nr] {
 				tile[i] = 0
 			}
 			gemmKernel(tile[:], nr, astrip, bstrip, kc, gemmSet)
-			for r := 0; r < mr; r++ {
+			for r := 0; r < rows; r++ {
 				drow := dst.data[ci+r*dst.stride : ci+r*dst.stride+w]
 				trow := tile[r*nr : r*nr+w]
 				switch mode {
@@ -350,141 +242,6 @@ func gemmMacro[T Element](dst view[T], ap, bp []T, ic, mc, jc, nc, kc, nr, mode 
 				default:
 					copy(drow, trow)
 				}
-			}
-		}
-	}
-}
-
-// gemmKernel4x4Go is the portable float64 micro-kernel: a 4×4 tile of dst
-// (row stride ldc) gets the product of a packed mrTile-row A strip and a
-// packed 4-column B strip over kc steps. Sixteen scalar accumulators
-// live in registers across the k loop; the tile is touched once at the
-// end. It is the only kernel on non-amd64 builds and the fallback when
-// the CPU lacks AVX2/FMA; gemm_test.go pins it against the assembly path.
-func gemmKernel4x4Go(c []float64, ldc int, ap, bp []float64, kc, mode int) {
-	var c00, c01, c02, c03 float64
-	var c10, c11, c12, c13 float64
-	var c20, c21, c22, c23 float64
-	var c30, c31, c32, c33 float64
-	i := 0
-	for p := 0; p < kc; p++ {
-		a0, a1, a2, a3 := ap[i], ap[i+1], ap[i+2], ap[i+3]
-		b0, b1, b2, b3 := bp[i], bp[i+1], bp[i+2], bp[i+3]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-		i += 4
-	}
-	r0 := c[0:4:4]
-	r1 := c[ldc : ldc+4 : ldc+4]
-	r2 := c[2*ldc : 2*ldc+4 : 2*ldc+4]
-	r3 := c[3*ldc : 3*ldc+4 : 3*ldc+4]
-	switch mode {
-	case gemmAdd:
-		r0[0] += c00
-		r0[1] += c01
-		r0[2] += c02
-		r0[3] += c03
-		r1[0] += c10
-		r1[1] += c11
-		r1[2] += c12
-		r1[3] += c13
-		r2[0] += c20
-		r2[1] += c21
-		r2[2] += c22
-		r2[3] += c23
-		r3[0] += c30
-		r3[1] += c31
-		r3[2] += c32
-		r3[3] += c33
-	case gemmSub:
-		r0[0] -= c00
-		r0[1] -= c01
-		r0[2] -= c02
-		r0[3] -= c03
-		r1[0] -= c10
-		r1[1] -= c11
-		r1[2] -= c12
-		r1[3] -= c13
-		r2[0] -= c20
-		r2[1] -= c21
-		r2[2] -= c22
-		r2[3] -= c23
-		r3[0] -= c30
-		r3[1] -= c31
-		r3[2] -= c32
-		r3[3] -= c33
-	default:
-		r0[0] = c00
-		r0[1] = c01
-		r0[2] = c02
-		r0[3] = c03
-		r1[0] = c10
-		r1[1] = c11
-		r1[2] = c12
-		r1[3] = c13
-		r2[0] = c20
-		r2[1] = c21
-		r2[2] = c22
-		r2[3] = c23
-		r3[0] = c30
-		r3[1] = c31
-		r3[2] = c32
-		r3[3] = c33
-	}
-}
-
-// gemmKernel4x8Go is the portable float32 micro-kernel: a 4×8 tile of dst
-// (row stride ldc) accumulates the product of a packed 4-row A strip and a
-// packed 8-column B strip over kc steps. The tile is one 256-bit vector of
-// float32 wide — the same register shape as the f64 kernel's 4×4 at twice
-// the element count, which is where the screening tier's throughput comes
-// from on SIMD builds (gemm32_amd64.s); this Go version is the non-amd64 /
-// no-AVX2 fallback and the reference the asm kernel is pinned against.
-func gemmKernel4x8Go(c []float32, ldc int, ap, bp []float32, kc, mode int) {
-	var acc [mrTile][8]float32
-	ia, ib := 0, 0
-	for p := 0; p < kc; p++ {
-		b := bp[ib : ib+8 : ib+8]
-		a := ap[ia : ia+4 : ia+4]
-		for r := 0; r < mrTile; r++ {
-			ar := a[r]
-			cr := &acc[r]
-			for t := 0; t < 8; t++ {
-				cr[t] += ar * b[t]
-			}
-		}
-		ia += 4
-		ib += 8
-	}
-	for r := 0; r < mrTile; r++ {
-		drow := c[r*ldc : r*ldc+8 : r*ldc+8]
-		cr := &acc[r]
-		switch mode {
-		case gemmAdd:
-			for t := 0; t < 8; t++ {
-				drow[t] += cr[t]
-			}
-		case gemmSub:
-			for t := 0; t < 8; t++ {
-				drow[t] -= cr[t]
-			}
-		default:
-			for t := 0; t < 8; t++ {
-				drow[t] = cr[t]
 			}
 		}
 	}

@@ -2,14 +2,10 @@
 
 package mat
 
-// On amd64 the float32 4×8 micro-kernel has an AVX2+FMA implementation
-// (gemm32_amd64.s): the four C-tile rows live in four YMM accumulators of
-// eight floats each, and each k step is one 256-bit B load, four A
-// broadcasts and four fused multiply-adds — the same instruction count as
-// the float64 4×4 kernel for twice the elements, which is the screening
-// tier's throughput advantage. Feature detection is shared with the f64
-// kernel (useFMAKernel in gemm_amd64.go); CPUs without AVX2+FMA fall back
-// to the portable gemmKernel4x8Go.
+// float32 kernel dispatch; feature detection is shared with the f64 side
+// (gemm_amd64.go). Each float32 tile carries twice the elements of its
+// f64 sibling at the same instruction count — one vector of floats wide —
+// which is the screening tier's throughput advantage.
 
 // gemmKernel4x8FMA is the AVX2+FMA float32 micro-kernel. c must expose at
 // least 3·ldc+8 elements, ap at least 4·kc and bp at least 8·kc.
@@ -17,10 +13,25 @@ package mat
 //go:noescape
 func gemmKernel4x8FMA(c []float32, ldc int, ap, bp []float32, kc, mode int)
 
+// gemmKernel8x16sAVX512 is the AVX-512 float32 micro-kernel. c must
+// expose at least 7·ldc+16 elements, ap at least 8·kc and bp at least
+// 16·kc.
+//
+//go:noescape
+func gemmKernel8x16sAVX512(c []float32, ldc int, ap, bp []float32, kc, mode int)
+
 func gemmKernel4x8(c []float32, ldc int, ap, bp []float32, kc, mode int) {
-	if useFMAKernel {
+	if gemmTier >= tierAVX2 {
 		gemmKernel4x8FMA(c, ldc, ap, bp, kc, mode)
 		return
 	}
 	gemmKernel4x8Go(c, ldc, ap, bp, kc, mode)
+}
+
+func gemmKernel8x16s(c []float32, ldc int, ap, bp []float32, kc, mode int) {
+	if gemmTier >= tierAVX512 {
+		gemmKernel8x16sAVX512(c, ldc, ap, bp, kc, mode)
+		return
+	}
+	gemmKernel8x16sGo(c, ldc, ap, bp, kc, mode)
 }

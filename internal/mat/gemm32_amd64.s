@@ -118,3 +118,158 @@ msub:
 	VMOVUPS Y7, (DI)
 	VZEROUPPER
 	RET
+
+// func gemmKernel8x16sAVX512(c []float32, ldc int, ap, bp []float32, kc, mode int)
+//
+// 8×16 float32 register tile: Z0..Z7 accumulate rows 0..7 (sixteen floats
+// each). Each k step loads one B strip row (16 floats, one 512-bit
+// vector) and issues eight embedded-broadcast VFMADD231PS. The k loop is
+// unrolled ×2. Per-element accumulation is the same p-order FMA chain as
+// the 4×8 AVX2 kernel, so at equal KC both produce bit-identical outputs.
+TEXT ·gemmKernel8x16sAVX512(SB), NOSPLIT, $0-96
+	MOVQ c_base+0(FP), DI
+	MOVQ ldc+24(FP), DX
+	MOVQ ap_base+32(FP), SI
+	MOVQ bp_base+56(FP), BX
+	MOVQ kc+80(FP), CX
+	MOVQ mode+88(FP), R8
+
+	VXORPS Z0, Z0, Z0
+	VXORPS Z1, Z1, Z1
+	VXORPS Z2, Z2, Z2
+	VXORPS Z3, Z3, Z3
+	VXORPS Z4, Z4, Z4
+	VXORPS Z5, Z5, Z5
+	VXORPS Z6, Z6, Z6
+	VXORPS Z7, Z7, Z7
+
+	MOVQ CX, R9
+	SHRQ $1, R9         // R9 = kc/2 (unrolled pairs)
+	JZ   tail512
+
+pair512:
+	VMOVUPS          (BX), Z8
+	VFMADD231PS.BCST (SI), Z8, Z0
+	VFMADD231PS.BCST 4(SI), Z8, Z1
+	VFMADD231PS.BCST 8(SI), Z8, Z2
+	VFMADD231PS.BCST 12(SI), Z8, Z3
+	VFMADD231PS.BCST 16(SI), Z8, Z4
+	VFMADD231PS.BCST 20(SI), Z8, Z5
+	VFMADD231PS.BCST 24(SI), Z8, Z6
+	VFMADD231PS.BCST 28(SI), Z8, Z7
+
+	VMOVUPS          64(BX), Z9
+	VFMADD231PS.BCST 32(SI), Z9, Z0
+	VFMADD231PS.BCST 36(SI), Z9, Z1
+	VFMADD231PS.BCST 40(SI), Z9, Z2
+	VFMADD231PS.BCST 44(SI), Z9, Z3
+	VFMADD231PS.BCST 48(SI), Z9, Z4
+	VFMADD231PS.BCST 52(SI), Z9, Z5
+	VFMADD231PS.BCST 56(SI), Z9, Z6
+	VFMADD231PS.BCST 60(SI), Z9, Z7
+
+	ADDQ $64, SI
+	ADDQ $128, BX
+	DECQ R9
+	JNZ  pair512
+
+tail512:
+	ANDQ $1, CX
+	JZ   store512
+	VMOVUPS          (BX), Z8
+	VFMADD231PS.BCST (SI), Z8, Z0
+	VFMADD231PS.BCST 4(SI), Z8, Z1
+	VFMADD231PS.BCST 8(SI), Z8, Z2
+	VFMADD231PS.BCST 12(SI), Z8, Z3
+	VFMADD231PS.BCST 16(SI), Z8, Z4
+	VFMADD231PS.BCST 20(SI), Z8, Z5
+	VFMADD231PS.BCST 24(SI), Z8, Z6
+	VFMADD231PS.BCST 28(SI), Z8, Z7
+
+store512:
+	SHLQ $2, DX         // ldc in bytes
+	CMPQ R8, $1
+	JEQ  madd512
+	CMPQ R8, $2
+	JEQ  msub512
+
+	// mode 0: overwrite
+	VMOVUPS Z0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z1, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z2, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z3, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z4, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z5, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z6, (DI)
+	ADDQ    DX, DI
+	VMOVUPS Z7, (DI)
+	VZEROUPPER
+	RET
+
+madd512:
+	VADDPS  (DI), Z0, Z0
+	VMOVUPS Z0, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z1, Z1
+	VMOVUPS Z1, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z2, Z2
+	VMOVUPS Z2, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z3, Z3
+	VMOVUPS Z3, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z4, Z4
+	VMOVUPS Z4, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z5, Z5
+	VMOVUPS Z5, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z6, Z6
+	VMOVUPS Z6, (DI)
+	ADDQ    DX, DI
+	VADDPS  (DI), Z7, Z7
+	VMOVUPS Z7, (DI)
+	VZEROUPPER
+	RET
+
+msub512:
+	VMOVUPS (DI), Z8
+	VSUBPS  Z0, Z8, Z8
+	VMOVUPS Z8, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z9
+	VSUBPS  Z1, Z9, Z9
+	VMOVUPS Z9, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z10
+	VSUBPS  Z2, Z10, Z10
+	VMOVUPS Z10, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z11
+	VSUBPS  Z3, Z11, Z11
+	VMOVUPS Z11, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z12
+	VSUBPS  Z4, Z12, Z12
+	VMOVUPS Z12, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z13
+	VSUBPS  Z5, Z13, Z13
+	VMOVUPS Z13, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z14
+	VSUBPS  Z6, Z14, Z14
+	VMOVUPS Z14, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Z16
+	VSUBPS  Z7, Z16, Z16
+	VMOVUPS Z16, (DI)
+	VZEROUPPER
+	RET

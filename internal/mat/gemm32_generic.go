@@ -2,7 +2,12 @@
 
 package mat
 
-// Non-amd64 builds use the portable float32 micro-kernel.
+// Non-amd64 float32 micro-kernels: portable loops at both tile shapes.
+
 func gemmKernel4x8(c []float32, ldc int, ap, bp []float32, kc, mode int) {
 	gemmKernel4x8Go(c, ldc, ap, bp, kc, mode)
+}
+
+func gemmKernel8x16s(c []float32, ldc int, ap, bp []float32, kc, mode int) {
+	gemmKernel8x16sGo(c, ldc, ap, bp, kc, mode)
 }

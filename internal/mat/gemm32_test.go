@@ -173,7 +173,7 @@ func TestGemm32KernelsAgree(t *testing.T) {
 // CI bench smoke step (-bench=.) exercises the 8-wide kernel path through
 // it on every push.
 func BenchmarkMulF32(b *testing.B) {
-	for _, n := range []int{64, 256, 512} {
+	for _, n := range []int{64, 256, 512, 1024} {
 		b.Run(benchSize(n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			x := randDense32(rng, n, n)

@@ -19,6 +19,13 @@ func fanOut(e *compute.Engine, flops int) bool {
 	return flops > parallelThreshold && e.Workers() > 1
 }
 
+// usePacked reports whether an m×k by k×n multiply should route through
+// the packed GEMM rather than the naive loops. The boundary is inclusive
+// (threshold_test.go pins it from both sides).
+func usePacked(m, k, n int) bool {
+	return m*k*n >= gemmMinFlops
+}
+
 // Mul returns a*b. Problems of at least gemmMinFlops run through the
 // packed register-blocked GEMM (see gemm.go), fanned out over row panels
 // on the shared compute engine when large enough; smaller ones use a
@@ -76,7 +83,7 @@ func overlaps[T Element](x, y []T) bool {
 }
 
 func mulIntoWith[T Element](e *compute.Engine, out, a, b *GDense[T]) {
-	if a.R*a.C*b.C >= gemmMinFlops {
+	if usePacked(a.R, a.C, b.C) {
 		gemmView(e, denseView(out), denseView(a), false, denseView(b), false, gemmSet)
 		return
 	}
@@ -120,7 +127,7 @@ func MulTWith[T Element](e *compute.Engine, ws *compute.Workspace, a, b *GDense[
 		panic("mat: MulT dimension mismatch")
 	}
 	out := GetDenseRawOf[T](ws, a.C, b.C)
-	if a.R*a.C*b.C >= gemmMinFlops {
+	if usePacked(a.C, a.R, b.C) {
 		gemmView(e, denseView(out), denseView(a), true, denseView(b), false, gemmSet)
 		return out
 	}
@@ -192,7 +199,7 @@ func GramWith[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T],
 func gramRows[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T]) *GDense[T] {
 	n := m.R
 	out := GetDenseRawOf[T](ws, n, n)
-	if n*n*m.C >= gemmMinFlops {
+	if usePacked(n, m.C, n) {
 		// m·mᵀ through the packed kernel; the transpose is absorbed by
 		// the B-packing read. The product is symmetric by construction
 		// (identical per-element accumulation order for (i,j) and (j,i)),
@@ -225,7 +232,7 @@ func gramCols[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T])
 	// mᵀm through the packed kernel when large; the rank-1 accumulation
 	// below handles small inputs without packing overhead.
 	n := m.C
-	if flops := n * n * m.R; flops >= gemmMinFlops {
+	if usePacked(n, m.R, n) {
 		out := GetDenseRawOf[T](ws, n, n)
 		gemmView(e, denseView(out), denseView(m), true, denseView(m), false, gemmSet)
 		mirrorUpperToLower(out)

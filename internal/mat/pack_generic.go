@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds interleave with the portable bounds-check-free loop.
+func interleave4[T Element](dst []T, dstStride int, src []T, srcStride, n int) {
+	interleave4Go(dst, dstStride, src, srcStride, n)
+}
