@@ -232,6 +232,50 @@ func writeBenchJSON(path string, workers int) error {
 		}
 	}
 
+	// Tall-skinny sweep over the streaming hot shapes (see DESIGN.md §5):
+	// proj_* is the per-update Uᵀ·C projection (tiny output, huge inner
+	// dimension) at the two rank caps the analyzer runs between, and
+	// skinny_mul_* covers the skinny-B and rank-w outer-product classes.
+	// These route through the pack-free skinny tier; IMRDMD_GEMM_SKINNY=off
+	// re-times the identical shapes on the packed path.
+	for _, q := range []int{32, 64} {
+		const pdim, w = 4096, 8
+		u := mat.NewDense(pdim, q)
+		c := mat.NewDense(pdim, w)
+		for i := range u.Data {
+			u.Data[i] = rng.NormFloat64()
+		}
+		for i := range c.Data {
+			c.Data[i] = rng.NormFloat64()
+		}
+		projFlops := 2 * int64(q) * int64(pdim) * int64(w)
+		snap.Benchmarks[fmt.Sprintf("proj_q%d_p%d_w%d", q, pdim, w)] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			dst := mat.NewDense(q, w)
+			for i := 0; i < tb.N; i++ {
+				mat.MulTIntoWith(eng, dst, u, c)
+			}
+		}), projFlops)
+	}
+	for _, sh := range []struct{ m, k, n int }{{200, 64, 8}, {200, 8, 48}} {
+		a := mat.NewDense(sh.m, sh.k)
+		b := mat.NewDense(sh.k, sh.n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		flops := 2 * int64(sh.m) * int64(sh.k) * int64(sh.n)
+		snap.Benchmarks[fmt.Sprintf("skinny_mul_%dx%dx%d", sh.m, sh.k, sh.n)] = kernelMetricOf(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			dst := mat.NewDense(sh.m, sh.n)
+			for i := 0; i < tb.N; i++ {
+				mat.MulIntoWith(eng, dst, a, b)
+			}
+		}), flops)
+	}
+
 	// Fixed streaming episode per iteration: rebuild the analyzer (off
 	// the clock) and time five 40-column partial fits over T=2000→2200.
 	// Keeping the absorbed range identical every iteration makes the

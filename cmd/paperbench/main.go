@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,8 +36,22 @@ func main() {
 		bjson   = flag.String("bench-json", "", "write a Mul/PartialFit benchmark snapshot (ns/op, allocs/op) to this file, e.g. BENCH_pr1.json, and exit")
 		qsmoke  = flag.Bool("query-smoke", false, "run a short query-throughput smoke (2 readers, ~0.3s) and exit")
 		kinfo   = flag.Bool("kernel-info", false, "print the GEMM kernel tier, probed caches and derived blocking, and exit")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	if *kinfo {
 		printKernelInfo()
 		return

@@ -173,11 +173,16 @@ func (e *Writer) Complexes(v []complex128) {
 }
 
 // Dense writes a matrix as its shape followed by the row-major payload.
+// Strided matrices (views, capacity-padded growers) serialize tightly:
+// only the R×C elements hit the wire, so the decoded matrix is packed
+// regardless of the writer's in-memory layout.
 func (e *Writer) Dense(m *mat.Dense) {
 	e.Int(m.R)
 	e.Int(m.C)
-	for _, x := range m.Data {
-		e.Float(x)
+	for i := 0; i < m.R; i++ {
+		for _, x := range m.Row(i) {
+			e.Float(x)
+		}
 	}
 }
 

@@ -211,9 +211,10 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 		return stats, errors.New("core: input contains NaN or Inf")
 	}
 	oldT := inc.raw.C
-	grown := mat.HStackWith(inc.ws, inc.raw, newData)
-	mat.PutDense(inc.ws, inc.raw)
-	inc.raw = grown
+	// Amortized column growth: with spare capacity only the new columns
+	// are written (the full-history copy HStack paid on every PartialFit
+	// dominated the ingest profile).
+	inc.raw = mat.GrowColsWith(inc.ws, inc.raw, newData)
 	newT := inc.raw.C
 	stats.NewColumns = newData.C
 
@@ -230,23 +231,22 @@ func (inc *Incremental) PartialFit(newData *mat.Dense) (UpdateStats, error) {
 	if len(newCols) > 0 {
 		// Raw borrow: the gather loop below assigns every element.
 		block := mat.GetDenseRaw(inc.ws, inc.p, len(newCols))
-		for k, idx := range newCols {
-			for i := 0; i < inc.p; i++ {
-				block.Data[i*block.C+k] = inc.raw.Data[i*inc.raw.C+idx]
+		for i := 0; i < inc.p; i++ {
+			rrow := inc.raw.Row(i)
+			brow := block.Row(i)
+			for k, idx := range newCols {
+				brow[k] = rrow[idx]
 			}
 		}
-		grownSub := mat.HStackWith(inc.ws, inc.sub1, block)
-		mat.PutDense(inc.ws, inc.sub1)
+		inc.sub1 = mat.GrowColsWith(inc.ws, inc.sub1, block)
 		mat.PutDense(inc.ws, block)
-		inc.sub1 = grownSub
 		inc.nextSample = newCols[len(newCols)-1] + inc.stride1
 		// The running SVD tracks X = sub1[:, :end-1]: the previous last
 		// column enters X now, and the newest column is held out as the
-		// final Y target.
+		// final Y target. The update block is a zero-copy column view —
+		// the SVD layer's kernels are stride-aware end to end.
 		ns := inc.sub1.C
-		upd := mat.ColSliceWith(inc.ws, inc.sub1, oldNS-1, ns-1)
-		inc.isvd.UpdateBlock(upd, inc.opts.BlockColumns)
-		mat.PutDense(inc.ws, upd)
+		inc.isvd.UpdateBlock(mat.ColsView(inc.sub1, oldNS-1, ns-1), inc.opts.BlockColumns)
 	}
 	stats.NewSamples = len(newCols)
 
@@ -399,8 +399,8 @@ func (inc *Incremental) level1SlowOnGrid(ns int) *mat.Dense {
 	for k := range times {
 		times[k] = float64(k*inc.stride1) * inc.opts.DT
 	}
-	out := mat.GetDenseRaw(inc.ws, inc.p, ns) // ReconstructModesInto zeroes it
-	dmd.ReconstructModesInto(out, inc.level1.Modes, times)
+	out := mat.GetDenseRaw(inc.ws, inc.p, ns) // ReconstructModesIntoWith zeroes it
+	dmd.ReconstructModesIntoWith(inc.eng, inc.ws, out, inc.level1.Modes, times)
 	inc.ws.PutF64(times)
 	return out
 }
@@ -409,18 +409,25 @@ func (inc *Incremental) level1SlowOnGrid(ns int) *mat.Dense {
 // over that window, in a workspace-borrowed matrix the caller must
 // PutDense back.
 func (inc *Incremental) residualOf(lo, hi int) *mat.Dense {
-	resid := mat.ColSliceWith(inc.ws, inc.raw, lo, hi)
 	if len(inc.level1.Modes) == 0 {
-		return resid
+		return mat.ColSliceWith(inc.ws, inc.raw, lo, hi)
 	}
 	times := inc.ws.GetF64(hi - lo)
 	for k := range times {
 		times[k] = float64(lo+k) * inc.opts.DT
 	}
-	recon := mat.GetDenseRaw(inc.ws, inc.p, hi-lo) // ReconstructModesInto zeroes it
-	dmd.ReconstructModesInto(recon, inc.level1.Modes, times)
-	mat.SubInPlace(resid, recon)
-	mat.PutDense(inc.ws, recon)
+	// Evaluate the reconstruction, then flip it into the residual in the
+	// same buffer: one raw-window read and one write instead of a window
+	// copy plus a separate read-modify-write subtraction pass.
+	resid := mat.GetDenseRaw(inc.ws, inc.p, hi-lo)
+	dmd.ReconstructModesIntoWith(inc.eng, inc.ws, resid, inc.level1.Modes, times)
+	for i := 0; i < inc.p; i++ {
+		raw := inc.raw.Row(i)[lo:hi]
+		row := resid.Row(i)
+		for k := range row {
+			row[k] = raw[k] - row[k]
+		}
+	}
 	inc.ws.PutF64(times)
 	return resid
 }

@@ -295,10 +295,9 @@ func processWindow(data *mat.Dense, level, start int, opts Options, eng *compute
 		for k := range times {
 			times[k] = float64(k) * opts.DT
 		}
-		recon := mat.GetDenseRaw(ws, data.R, n) // ReconstructModesInto zeroes it
-		dmd.ReconstructModesInto(recon, slow, times)
-		mat.SubInPlace(data, recon)
-		mat.PutDense(ws, recon)
+		// Accumulate-mode GEMMs flip the slow part out of the window in
+		// place — no p×n reconstruction scratch, no separate subtract pass.
+		dmd.SubReconstructionWith(eng, ws, data, slow, times)
 		ws.PutF64(times)
 	}
 	return node, data, nil

@@ -97,9 +97,12 @@ func (inc *Incremental) gridErrorLocked(nodes []*Node) (float64, int) {
 		inc.addNodeOnGrid(acc, nd)
 	}
 	var s float64
-	for i, val := range inc.sub1.Data {
-		d := val - acc.Data[i]
-		s += d * d
+	for i := 0; i < inc.p; i++ {
+		arow := acc.Row(i)
+		for j, val := range inc.sub1.Row(i) {
+			d := val - arow[j]
+			s += d * d
+		}
 	}
 	mat.PutDense(inc.ws, acc)
 	return math.Sqrt(s), ns
@@ -127,15 +130,6 @@ func (inc *Incremental) addNodeOnGrid(acc *mat.Dense, nd *Node) {
 	for k := 0; k < w; k++ {
 		times[k] = float64((lo+k)*st-nd.Start) * inc.opts.DT
 	}
-	recon := mat.GetDenseRaw(inc.ws, inc.p, w) // ReconstructModesInto zeroes it
-	dmd.ReconstructModesInto(recon, nd.Modes, times)
-	for i := 0; i < inc.p; i++ {
-		dst := acc.Row(i)[lo:hi]
-		src := recon.Row(i)
-		for k := range dst {
-			dst[k] += src[k]
-		}
-	}
-	mat.PutDense(inc.ws, recon)
+	dmd.AddReconstructionWith(inc.eng, inc.ws, mat.ColsView(acc, lo, hi), nd.Modes, times)
 	inc.ws.PutF64(times)
 }

@@ -91,7 +91,7 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 		return nil, ErrTooFewSnapshots
 	}
 	e, ws := opts.engine(), opts.Ws
-	y := mat.ColSliceWith(ws, snapshots, 1, t)
+	y := mat.ColsView(snapshots, 1, t) // zero-copy: every consumer is stride-aware
 	rank := s.Rank()
 	if opts.UseSVHT {
 		rank = svd.SVHTRankWith(ws, s.S, s.U.R, s.V.R)
@@ -115,7 +115,6 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 	// Guard degenerate zero data: all-zero singular spectrum.
 	if tr.S[0] == 0 {
 		putTr()
-		mat.PutDense(ws, y)
 		return &Decomposition{Modes: nil, P: p, T: t, DT: opts.DT, Rank: 0}, nil
 	}
 
@@ -135,7 +134,6 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 
 	// Φ = Y V Σ⁻¹ W (exact DMD modes).
 	yvs := mat.MulWith(e, ws, y, tr.V) // p×r
-	mat.PutDense(ws, y)
 	for i := 0; i < yvs.R; i++ {
 		row := yvs.Row(i)
 		for j := range row {
@@ -149,7 +147,7 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 	mat.PutCDense(ws, cyvs)
 	mat.PutCDense(ws, vecs)
 
-	b := optimalAmplitudes(ws, phi, vals, snapshots)
+	b := optimalAmplitudes(e, ws, phi, vals, snapshots)
 
 	modes := make([]Mode, 0, len(vals))
 	for j, lam := range vals {
@@ -184,7 +182,7 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 //
 // with ∘ the Hadamard product; the system matrix is positive
 // semidefinite by the Schur product theorem.
-func optimalAmplitudes(ws *compute.Workspace, phi *mat.CDense, vals []complex128, snapshots *mat.Dense) []complex128 {
+func optimalAmplitudes(e *compute.Engine, ws *compute.Workspace, phi *mat.CDense, vals []complex128, snapshots *mat.Dense) []complex128 {
 	p, t := snapshots.Dims()
 	r := len(vals)
 	// Vandermonde V (r×t): powers of the discrete eigenvalues, with a
@@ -228,19 +226,35 @@ func optimalAmplitudes(ws *compute.Workspace, phi *mat.CDense, vals []complex128
 			sys.Set(i, j, g1.At(i, j)*cmplx.Conj(g2.At(i, j)))
 		}
 	}
+	// rhs q = conj(diag(V Xᴴ Φ)): the inner factor XᵀΦ (t×r) is computed
+	// on Φ's real and imaginary planes with two real GEMMs — X is real so
+	// the planes never mix, and the p×t×r contraction rides the tall-skinny
+	// kernels instead of an O(r·t·p) scalar triple loop.
+	phiRe := mat.GetDenseRaw(ws, p, r)
+	phiIm := mat.GetDenseRaw(ws, p, r)
+	for i := 0; i < p; i++ {
+		reRow, imRow := phiRe.Row(i), phiIm.Row(i)
+		for j := 0; j < r; j++ {
+			v := phi.At(i, j)
+			reRow[j] = real(v)
+			imRow[j] = imag(v)
+		}
+	}
+	xphiRe := mat.MulTWith(e, ws, snapshots, phiRe) // t×r
+	xphiIm := mat.MulTWith(e, ws, snapshots, phiIm) // t×r
+	mat.PutDense(ws, phiRe)
+	mat.PutDense(ws, phiIm)
 	q := make([]complex128, r)
 	for i := 0; i < r; i++ {
-		// (V Xᴴ Φ)[i,i] = Σ_k V[i,k] · Σ_p conj(X[p,k])·Φ[p,i]
+		// (V Xᴴ Φ)[i,i] = Σ_k V[i,k] · (XᵀΦ)[k,i]
 		var s complex128
 		for k := 0; k < t; k++ {
-			var xphi complex128
-			for pp := 0; pp < p; pp++ {
-				xphi += complex(snapshots.At(pp, k), 0) * phi.At(pp, i)
-			}
-			s += vand.At(i, k) * xphi
+			s += vand.At(i, k) * complex(xphiRe.At(k, i), xphiIm.At(k, i))
 		}
 		q[i] = cmplx.Conj(s)
 	}
+	mat.PutDense(ws, xphiRe)
+	mat.PutDense(ws, xphiIm)
 	// Tikhonov-style jitter keeps the solve stable when modes coincide.
 	var trace float64
 	for i := 0; i < r; i++ {
@@ -288,17 +302,41 @@ func ReconstructModes(modes []Mode, p int, times []float64) *mat.Dense {
 // (p×len(times)), overwriting its contents — the allocation-free variant
 // for pooled reconstruction scratch.
 func ReconstructModesInto(out *mat.Dense, modes []Mode, times []float64) {
+	ReconstructModesIntoWith(nil, nil, out, modes, times)
+}
+
+// reconGemmMin is the r·t·p volume above which reconstruction goes
+// through the GEMM form instead of the scalar triple loop: below it the
+// plane setup costs more than the loop saves.
+const reconGemmMin = 4096
+
+// ReconstructModesIntoWith is ReconstructModesInto with the evaluation
+// GEMMs routed through engine e and scratch borrowed from ws (both may be
+// nil). For non-trivial mode sets the evaluation runs as two real GEMMs,
+// Re(X̂) = Re(Φ)·Re(W) − Im(Φ)·Im(W) with W[j,k] = e^{ψⱼtₖ}bⱼ — X is
+// real, so the planes never mix — which lands on the tall-skinny kernel
+// tier for the streaming residual shapes (p×r times r×t with r small).
+func ReconstructModesIntoWith(e *compute.Engine, ws *compute.Workspace, out *mat.Dense, modes []Mode, times []float64) {
 	if out.C != len(times) {
 		panic("dmd: ReconstructModesInto shape mismatch")
 	}
-	for i := range out.Data {
-		out.Data[i] = 0
+	p, t, r := out.R, len(times), len(modes)
+	if r*t*p >= reconGemmMin {
+		reconstructGemm(e, ws, out, modes, times)
+		return
+	}
+	s := out.RowStride()
+	for i := 0; i < p; i++ {
+		row := out.Data[i*s : i*s+t]
+		for k := range row {
+			row[k] = 0
+		}
 	}
 	reconstructInto(out, modes, times)
 }
 
 func reconstructInto(out *mat.Dense, modes []Mode, times []float64) {
-	p := out.R
+	p, s := out.R, out.RowStride()
 	for _, m := range modes {
 		for k, t := range times {
 			w := expPsiT(m.Psi, t) * m.Amp
@@ -306,7 +344,100 @@ func reconstructInto(out *mat.Dense, modes []Mode, times []float64) {
 				continue
 			}
 			for i := 0; i < p; i++ {
-				out.Data[i*len(times)+k] += real(m.Phi[i] * w)
+				out.Data[i*s+k] += real(m.Phi[i] * w)
+			}
+		}
+	}
+}
+
+// reconPlanes splits Φ and the time-weight matrix W[j,k] = e^{ψⱼtₖ}bⱼ
+// into real/imaginary plane matrices for the GEMM evaluation forms.
+func reconPlanes(ws *compute.Workspace, p int, modes []Mode, times []float64) (phiRe, phiIm, wRe, wIm *mat.Dense) {
+	t, r := len(times), len(modes)
+	phiRe = mat.GetDenseRaw(ws, p, r)
+	phiIm = mat.GetDenseRaw(ws, p, r)
+	for i := 0; i < p; i++ {
+		rre, rim := phiRe.Row(i), phiIm.Row(i)
+		for j := range modes {
+			v := modes[j].Phi[i]
+			rre[j], rim[j] = real(v), imag(v)
+		}
+	}
+	wRe = mat.GetDenseRaw(ws, r, t)
+	wIm = mat.GetDenseRaw(ws, r, t)
+	for j := range modes {
+		m := &modes[j]
+		wre, wim := wRe.Row(j), wIm.Row(j)
+		for k, tk := range times {
+			w := expPsiT(m.Psi, tk) * m.Amp
+			wre[k], wim[k] = real(w), imag(w)
+		}
+	}
+	return phiRe, phiIm, wRe, wIm
+}
+
+func putReconPlanes(ws *compute.Workspace, phiRe, phiIm, wRe, wIm *mat.Dense) {
+	mat.PutDense(ws, wIm)
+	mat.PutDense(ws, wRe)
+	mat.PutDense(ws, phiIm)
+	mat.PutDense(ws, phiRe)
+}
+
+// reconstructGemm evaluates the mode sum as two real GEMMs over the
+// real/imaginary planes of Φ and the time-weight matrix W.
+func reconstructGemm(e *compute.Engine, ws *compute.Workspace, out *mat.Dense, modes []Mode, times []float64) {
+	phiRe, phiIm, wRe, wIm := reconPlanes(ws, out.R, modes, times)
+	mat.MulIntoWith(e, out, phiRe, wRe)
+	tmp := mat.MulWith(e, ws, phiIm, wIm)
+	mat.SubInPlace(out, tmp)
+	mat.PutDense(ws, tmp)
+	putReconPlanes(ws, phiRe, phiIm, wRe, wIm)
+}
+
+// AddReconstructionWith accumulates the mode-sum evaluation into dst
+// (dst += X̂) without materializing X̂: the two plane GEMMs run in
+// accumulate mode straight into dst. dst may be a column view.
+func AddReconstructionWith(e *compute.Engine, ws *compute.Workspace, dst *mat.Dense, modes []Mode, times []float64) {
+	accumReconstruction(e, ws, dst, modes, times, 1)
+}
+
+// SubReconstructionWith subtracts the mode-sum evaluation from dst
+// (dst -= X̂) — the residual flip of the mrDMD recursion, fused so the
+// window buffer is the only p×t matrix touched.
+func SubReconstructionWith(e *compute.Engine, ws *compute.Workspace, dst *mat.Dense, modes []Mode, times []float64) {
+	accumReconstruction(e, ws, dst, modes, times, -1)
+}
+
+func accumReconstruction(e *compute.Engine, ws *compute.Workspace, dst *mat.Dense, modes []Mode, times []float64, sign float64) {
+	if dst.C != len(times) {
+		panic("dmd: reconstruction accumulate shape mismatch")
+	}
+	p, t, r := dst.R, len(times), len(modes)
+	if r == 0 || t == 0 || p == 0 {
+		return
+	}
+	if r*t*p >= reconGemmMin {
+		phiRe, phiIm, wRe, wIm := reconPlanes(ws, p, modes, times)
+		if sign > 0 {
+			mat.MulAddIntoWith(e, dst, phiRe, wRe)
+			mat.MulSubIntoWith(e, dst, phiIm, wIm)
+		} else {
+			mat.MulSubIntoWith(e, dst, phiRe, wRe)
+			mat.MulAddIntoWith(e, dst, phiIm, wIm)
+		}
+		putReconPlanes(ws, phiRe, phiIm, wRe, wIm)
+		return
+	}
+	s := dst.RowStride()
+	for j := range modes {
+		m := &modes[j]
+		for k, tk := range times {
+			w := expPsiT(m.Psi, tk) * m.Amp * complex(sign, 0)
+			if w == 0 {
+				continue
+			}
+			for i := 0; i < p; i++ {
+				dst.Data[i*s+k] += real(m.Phi[i] * w)
 			}
 		}
 	}

@@ -30,7 +30,33 @@ type Element = compute.Float
 // construct one with a shape.
 type GDense[T Element] struct {
 	R, C int
-	Data []T // len == R*C, row-major: element (i,j) at Data[i*C+j]
+	Data []T // row-major: element (i,j) at Data[i*RowStride()+j]
+
+	// Stride is the row stride of Data; 0 means tightly packed
+	// (stride == C), which every constructor in this package produces.
+	// Strided matrices arise only from ColsView windows (stride = the
+	// parent's) and GrowCols capacity padding (stride = column capacity);
+	// all accessors and kernels honor it.
+	Stride int
+
+	// noPool marks matrices whose Data aliases another matrix's storage
+	// (ColsView, RowsView): PutDense must not recycle it.
+	noPool bool
+}
+
+// RowStride returns the distance in elements between the starts of
+// consecutive rows of Data.
+func (m *GDense[T]) RowStride() int {
+	if m.Stride > 0 {
+		return m.Stride
+	}
+	return m.C
+}
+
+// packed reports whether Data is one tight R*C block, so flat loops over
+// it visit exactly the matrix elements.
+func (m *GDense[T]) packed() bool {
+	return (m.Stride == 0 || m.Stride == m.C) && len(m.Data) == m.R*m.C
 }
 
 // Dense is the float64 dense matrix — the default, high-fidelity tier.
@@ -63,19 +89,23 @@ func NewDenseData(r, c int, data []float64) *Dense {
 }
 
 // At returns element (i, j).
-func (m *GDense[T]) At(i, j int) T { return m.Data[i*m.C+j] }
+func (m *GDense[T]) At(i, j int) T { return m.Data[i*m.RowStride()+j] }
 
 // Set assigns element (i, j).
-func (m *GDense[T]) Set(i, j int, v T) { m.Data[i*m.C+j] = v }
+func (m *GDense[T]) Set(i, j int, v T) { m.Data[i*m.RowStride()+j] = v }
 
 // Row returns row i as a slice aliasing the matrix storage.
-func (m *GDense[T]) Row(i int) []T { return m.Data[i*m.C : (i+1)*m.C] }
+func (m *GDense[T]) Row(i int) []T {
+	s := m.RowStride()
+	return m.Data[i*s : i*s+m.C : i*s+m.C]
+}
 
 // Col returns a copy of column j.
 func (m *GDense[T]) Col(j int) []T {
 	out := make([]T, m.R)
+	s := m.RowStride()
 	for i := 0; i < m.R; i++ {
-		out[i] = m.Data[i*m.C+j]
+		out[i] = m.Data[i*s+j]
 	}
 	return out
 }
@@ -85,15 +115,22 @@ func (m *GDense[T]) SetCol(j int, v []T) {
 	if len(v) != m.R {
 		panic("mat: SetCol length mismatch")
 	}
+	s := m.RowStride()
 	for i := 0; i < m.R; i++ {
-		m.Data[i*m.C+j] = v[i]
+		m.Data[i*s+j] = v[i]
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep (tightly packed) copy.
 func (m *GDense[T]) Clone() *GDense[T] {
-	d := make([]T, len(m.Data))
-	copy(d, m.Data)
+	d := make([]T, m.R*m.C)
+	if m.packed() {
+		copy(d, m.Data)
+	} else {
+		for i := 0; i < m.R; i++ {
+			copy(d[i*m.C:(i+1)*m.C], m.Row(i))
+		}
+	}
 	return &GDense[T]{R: m.R, C: m.C, Data: d}
 }
 
@@ -105,12 +142,13 @@ func (m *GDense[T]) T() *GDense[T] {
 	t := NewOf[T](m.C, m.R)
 	// Blocked transpose for cache friendliness.
 	const bs = 64
+	ms := m.RowStride()
 	for ii := 0; ii < m.R; ii += bs {
 		iMax := min(ii+bs, m.R)
 		for jj := 0; jj < m.C; jj += bs {
 			jMax := min(jj+bs, m.C)
 			for i := ii; i < iMax; i++ {
-				row := m.Data[i*m.C:]
+				row := m.Data[i*ms:]
 				for j := jj; j < jMax; j++ {
 					t.Data[j*m.R+i] = row[j]
 				}
@@ -127,7 +165,7 @@ func (m *GDense[T]) ColSlice(j0, j1 int) *GDense[T] {
 	}
 	out := NewOf[T](m.R, j1-j0)
 	for i := 0; i < m.R; i++ {
-		copy(out.Row(i), m.Data[i*m.C+j0:i*m.C+j1])
+		copy(out.Row(i), m.Row(i)[j0:j1])
 	}
 	return out
 }
@@ -138,7 +176,9 @@ func (m *GDense[T]) RowSlice(i0, i1 int) *GDense[T] {
 		panic(fmt.Sprintf("mat: RowSlice [%d,%d) out of range for %d rows", i0, i1, m.R))
 	}
 	out := NewOf[T](i1-i0, m.C)
-	copy(out.Data, m.Data[i0*m.C:i1*m.C])
+	for i := i0; i < i1; i++ {
+		copy(out.Row(i-i0), m.Row(i))
+	}
 	return out
 }
 
@@ -178,8 +218,12 @@ func VStack[T Element](a, b *GDense[T]) *GDense[T] {
 		panic("mat: VStack col mismatch")
 	}
 	out := NewOf[T](a.R+b.R, a.C)
-	copy(out.Data[:len(a.Data)], a.Data)
-	copy(out.Data[len(a.Data):], b.Data)
+	for i := 0; i < a.R; i++ {
+		copy(out.Row(i), a.Row(i))
+	}
+	for i := 0; i < b.R; i++ {
+		copy(out.Row(a.R+i), b.Row(i))
+	}
 	return out
 }
 
@@ -206,8 +250,11 @@ func DiagOf[T Element](v []T) *GDense[T] {
 func Add[T Element](a, b *GDense[T]) *GDense[T] {
 	checkSameShape("Add", a, b)
 	out := NewOf[T](a.R, a.C)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+	for i := 0; i < a.R; i++ {
+		orow, arow, brow := out.Row(i), a.Row(i), b.Row(i)
+		for j := range orow {
+			orow[j] = arow[j] + brow[j]
+		}
 	}
 	return out
 }
@@ -216,8 +263,11 @@ func Add[T Element](a, b *GDense[T]) *GDense[T] {
 func Sub[T Element](a, b *GDense[T]) *GDense[T] {
 	checkSameShape("Sub", a, b)
 	out := NewOf[T](a.R, a.C)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
+	for i := 0; i < a.R; i++ {
+		orow, arow, brow := out.Row(i), a.Row(i), b.Row(i)
+		for j := range orow {
+			orow[j] = arow[j] - brow[j]
+		}
 	}
 	return out
 }
@@ -225,16 +275,22 @@ func Sub[T Element](a, b *GDense[T]) *GDense[T] {
 // SubInPlace subtracts b from a in place.
 func SubInPlace[T Element](a, b *GDense[T]) {
 	checkSameShape("SubInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] -= b.Data[i]
+	for i := 0; i < a.R; i++ {
+		arow, brow := a.Row(i), b.Row(i)
+		for j := range arow {
+			arow[j] -= brow[j]
+		}
 	}
 }
 
 // Scale returns s*a.
 func Scale[T Element](s T, a *GDense[T]) *GDense[T] {
 	out := NewOf[T](a.R, a.C)
-	for i := range a.Data {
-		out.Data[i] = s * a.Data[i]
+	for i := 0; i < a.R; i++ {
+		orow, arow := out.Row(i), a.Row(i)
+		for j := range orow {
+			orow[j] = s * arow[j]
+		}
 	}
 	return out
 }
@@ -243,9 +299,18 @@ func Scale[T Element](s T, a *GDense[T]) *GDense[T] {
 // regardless of the element type.
 func (m *GDense[T]) FrobNorm() float64 {
 	var s float64
-	for _, v := range m.Data {
-		f := float64(v)
-		s += f * f
+	if m.packed() {
+		for _, v := range m.Data {
+			f := float64(v)
+			s += f * f
+		}
+		return math.Sqrt(s)
+	}
+	for i := 0; i < m.R; i++ {
+		for _, v := range m.Row(i) {
+			f := float64(v)
+			s += f * f
+		}
 	}
 	return math.Sqrt(s)
 }
@@ -253,9 +318,11 @@ func (m *GDense[T]) FrobNorm() float64 {
 // MaxAbs returns the largest absolute entry of m (0 for an empty matrix).
 func (m *GDense[T]) MaxAbs() float64 {
 	var s float64
-	for _, v := range m.Data {
-		if a := math.Abs(float64(v)); a > s {
-			s = a
+	for i := 0; i < m.R; i++ {
+		for _, v := range m.Row(i) {
+			if a := math.Abs(float64(v)); a > s {
+				s = a
+			}
 		}
 	}
 	return s
@@ -263,10 +330,12 @@ func (m *GDense[T]) MaxAbs() float64 {
 
 // HasNaN reports whether any entry is NaN or ±Inf.
 func (m *GDense[T]) HasNaN() bool {
-	for _, v := range m.Data {
-		f := float64(v)
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return true
+	for i := 0; i < m.R; i++ {
+		for _, v := range m.Row(i) {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return true
+			}
 		}
 	}
 	return false

@@ -20,8 +20,8 @@ func forceTier(t *testing.T, tier kernelTier) {
 	t.Helper()
 	oldTier, old64, old32 := gemmTier, bp64, bp32
 	gemmTier = tier
-	bp64 = deriveParams(tier, 8, kernelCaches, gemmTuned)
-	bp32 = deriveParams(tier, 4, kernelCaches, gemmTuned)
+	bp64 = deriveParams(tier, 8, kernelCaches, gemmTuned, compute.Default().Workers())
+	bp32 = deriveParams(tier, 4, kernelCaches, gemmTuned, compute.Default().Workers())
 	t.Cleanup(func() { gemmTier, bp64, bp32 = oldTier, old64, old32 })
 }
 
@@ -43,13 +43,13 @@ func hostTiers() []kernelTier {
 // both edge kinds (mr and nr remainders) at every tile geometry.
 func TestDispatchTierSweep(t *testing.T) {
 	shapes := []struct{ m, k, n int }{
-		{64, 64, 64},   // all-interior for every geometry
-		{7, 30, 13},    // rows < mr and cols < nr everywhere
-		{9, 17, 17},    // single ragged row/col beyond one 8×16 tile
-		{23, 40, 31},   // mr<8 and nr<16 remainders on the 512-bit tiles
-		{65, 300, 33},  // crosses KC and one MC boundary with ragged edges
-		{16, 256, 16},  // exact 8-row, 16-col multiples (no edges at 8×16)
-		{12, 100, 24},  // edge rows on 8-row tiles, interior on 4-row ones
+		{64, 64, 64},  // all-interior for every geometry
+		{7, 30, 13},   // rows < mr and cols < nr everywhere
+		{9, 17, 17},   // single ragged row/col beyond one 8×16 tile
+		{23, 40, 31},  // mr<8 and nr<16 remainders on the 512-bit tiles
+		{65, 300, 33}, // crosses KC and one MC boundary with ragged edges
+		{16, 256, 16}, // exact 8-row, 16-col multiples (no edges at 8×16)
+		{12, 100, 24}, // edge rows on 8-row tiles, interior on 4-row ones
 	}
 	for _, tier := range hostTiers() {
 		t.Run(tier.String(), func(t *testing.T) {
@@ -126,8 +126,8 @@ func TestDispatchAVX512MatchesAVX2Bitwise(t *testing.T) {
 		oldTier, old64, old32 := gemmTier, bp64, bp32
 		gemmTier = tier
 		// Pinned (untuned) blocking gives both tiers KC=256.
-		bp64 = deriveParams(tier, 8, cacheInfo{}, false)
-		bp32 = deriveParams(tier, 4, cacheInfo{}, false)
+		bp64 = deriveParams(tier, 8, cacheInfo{}, false, 1)
+		bp32 = deriveParams(tier, 4, cacheInfo{}, false, 1)
 		t.Cleanup(func() { gemmTier, bp64, bp32 = oldTier, old64, old32 })
 	}
 	rng := rand.New(rand.NewSource(37))
@@ -305,7 +305,7 @@ func TestDeriveParams(t *testing.T) {
 	caches := cacheInfo{l1d: 48 << 10, l2: 2 << 20, l3: 105 << 20}
 	for _, tier := range []kernelTier{tierGeneric, tierAVX2, tierAVX512} {
 		for _, esize := range []int{8, 4} {
-			pinned := deriveParams(tier, esize, caches, false)
+			pinned := deriveParams(tier, esize, caches, false, 1)
 			if pinned.kc != 256 || pinned.mc != 128 || pinned.nc != 512 {
 				t.Errorf("%v/%d untuned: got %+v, want 256/128/512 blocking", tier, esize, pinned)
 			}
@@ -317,7 +317,7 @@ func TestDeriveParams(t *testing.T) {
 				t.Errorf("%v/%d: got tile %dx%d, want %dx%d", tier, esize, pinned.mr, pinned.nr, wantMR, wantNR)
 			}
 
-			tuned := deriveParams(tier, esize, caches, true)
+			tuned := deriveParams(tier, esize, caches, true, 1)
 			if tier != tierAVX512 && tuned.kc != 256 {
 				t.Errorf("%v/%d tuned: kc=%d, but KC is pinned at 256 below the AVX-512 tier", tier, esize, tuned.kc)
 			}
@@ -333,9 +333,49 @@ func TestDeriveParams(t *testing.T) {
 		}
 	}
 	// Unknown caches substitute conservative defaults rather than zeros.
-	p := deriveParams(tierAVX512, 8, cacheInfo{}, true)
+	p := deriveParams(tierAVX512, 8, cacheInfo{}, true, 1)
 	if p.kc < 128 || p.mc < 4*p.mr || p.nc < 4*p.nr {
 		t.Errorf("zero caches: derived %+v below the clamp floors", p)
+	}
+}
+
+// TestDeriveParamsNCPerWorker pins NC against the engine fan-out width:
+// NC is sized from this worker's *share* of the L3, so widening the
+// engine must shrink (never grow) NC, the un-parallel case must match
+// the historical full-cache derivation, and KC/MC — per-core L1/L2
+// quantities — must not move with the worker count at all.
+func TestDeriveParamsNCPerWorker(t *testing.T) {
+	caches := cacheInfo{l1d: 48 << 10, l2: 2 << 20, l3: 105 << 20}
+	cases := []struct {
+		esize, workers int
+		wantNC         int
+	}{
+		// l3/workers/8/(kc*esize) rounded down to a multiple of nr=16,
+		// clamped to [64, 1024]. KC derives from L1d/2/(16*esize):
+		// 192 for f64, 384 for f32.
+		{8, 1, 1024}, // 105MiB/8/1536 = 8960 → clamp ceiling
+		{8, 4, 1024}, // 2240 → still above the ceiling
+		{8, 16, 560},
+		{8, 32, 272},
+		{4, 1, 1024},
+		{4, 16, 560},
+		{4, 64, 128},
+		{8, 0, 1024}, // degenerate worker counts behave as 1
+		{8, -3, 1024},
+	}
+	for _, c := range cases {
+		p := deriveParams(tierAVX512, c.esize, caches, true, c.workers)
+		if p.nc != c.wantNC {
+			t.Errorf("esize=%d workers=%d: nc=%d, want %d", c.esize, c.workers, p.nc, c.wantNC)
+		}
+		base := deriveParams(tierAVX512, c.esize, caches, true, 1)
+		if p.kc != base.kc || p.mc != base.mc {
+			t.Errorf("esize=%d workers=%d: kc/mc %d/%d moved with worker count (want %d/%d)",
+				c.esize, c.workers, p.kc, p.mc, base.kc, base.mc)
+		}
+		if p.nc > base.nc {
+			t.Errorf("esize=%d workers=%d: nc=%d exceeds single-worker nc=%d", c.esize, c.workers, p.nc, base.nc)
+		}
 	}
 }
 

@@ -111,15 +111,16 @@ type view[T Element] struct {
 }
 
 func denseView[T Element](m *GDense[T]) view[T] {
-	return view[T]{data: m.Data, r: m.R, c: m.C, stride: m.C}
+	return view[T]{data: m.Data, r: m.R, c: m.C, stride: m.RowStride()}
 }
 
 // rowsView is rows [i0, i1) of m as a view.
 func rowsView[T Element](m *GDense[T], i0, i1 int) view[T] {
+	s := m.RowStride()
 	if i0 == i1 {
-		return view[T]{r: 0, c: m.C, stride: m.C}
+		return view[T]{r: 0, c: m.C, stride: s}
 	}
-	return view[T]{data: m.Data[i0*m.C:], r: i1 - i0, c: m.C, stride: m.C}
+	return view[T]{data: m.Data[i0*s:], r: i1 - i0, c: m.C, stride: s}
 }
 
 // gemmView computes dst = A·B (mode gemmSet), dst += A·B (gemmAdd) or

@@ -180,7 +180,7 @@ func TestGemmParallelBitIdentical(t *testing.T) {
 		{257, 180, 131}, // 3 ragged MC panels
 		{512, 512, 96},
 		{130, 700, 40},
-		{96, 800, 64}, // shorter than one MC panel: sub-panel row bands
+		{96, 800, 64},  // shorter than one MC panel: sub-panel row bands
 		{9, 99999, 9},  // minimal band width (above threshold, m barely ≥ 2·mr)
 		{17, 99999, 9}, // barely ≥ 2·mr for the 8-row AVX-512 tile
 	} {

@@ -70,6 +70,65 @@ func MulIntoWith[T Element](e *compute.Engine, dst, a, b *GDense[T]) {
 	mulIntoWith(e, dst, a, b)
 }
 
+// MulAddIntoWith computes dst += a*b through the same kernel routing as
+// MulIntoWith: existing dst contents are kept and the product accumulates
+// on top, so residual flips need no intermediate product matrix.
+func MulAddIntoWith[T Element](e *compute.Engine, dst, a, b *GDense[T]) {
+	mulAccIntoWith(e, dst, a, b, gemmAdd)
+}
+
+// MulSubIntoWith computes dst -= a*b; see MulAddIntoWith.
+func MulSubIntoWith[T Element](e *compute.Engine, dst, a, b *GDense[T]) {
+	mulAccIntoWith(e, dst, a, b, gemmSub)
+}
+
+func mulAccIntoWith[T Element](e *compute.Engine, dst, a, b *GDense[T], md int) {
+	if a.C != b.R {
+		panic("mat: MulInto inner dimension mismatch")
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic("mat: MulInto output shape mismatch")
+	}
+	if overlaps(dst.Data, a.Data) || overlaps(dst.Data, b.Data) {
+		panic("mat: MulInto destination aliases an operand")
+	}
+	if usePacked(a.R, a.C, b.C) {
+		if skinnyShape[T](a.R, a.C, b.C) {
+			skinnyGemm(e, denseView(dst), denseView(a), false, denseView(b), md)
+			return
+		}
+		gemmView(e, denseView(dst), denseView(a), false, denseView(b), false, md)
+		return
+	}
+	mulRangeAcc(dst, a, b, 0, a.R, md)
+}
+
+// mulRangeAcc is mulRange without the zeroing pass: rows of a*b accumulate
+// into (gemmAdd) or subtract from (gemmSub) the existing out rows.
+func mulRangeAcc[T Element](out, a, b *GDense[T], lo, hi, md int) {
+	n := b.C
+	bs := b.RowStride()
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*bs : k*bs+n]
+			if md == gemmSub {
+				for j, bkj := range brow {
+					orow[j] -= aik * bkj
+				}
+			} else {
+				for j, bkj := range brow {
+					orow[j] += aik * bkj
+				}
+			}
+		}
+	}
+}
+
 // overlaps reports whether the backing arrays of x and y share memory.
 func overlaps[T Element](x, y []T) bool {
 	if len(x) == 0 || len(y) == 0 {
@@ -84,6 +143,10 @@ func overlaps[T Element](x, y []T) bool {
 
 func mulIntoWith[T Element](e *compute.Engine, out, a, b *GDense[T]) {
 	if usePacked(a.R, a.C, b.C) {
+		if skinnyShape[T](a.R, a.C, b.C) {
+			skinnyGemm(e, denseView(out), denseView(a), false, denseView(b), gemmSet)
+			return
+		}
 		gemmView(e, denseView(out), denseView(a), false, denseView(b), false, gemmSet)
 		return
 	}
@@ -97,6 +160,7 @@ func mulIntoWith[T Element](e *compute.Engine, out, a, b *GDense[T]) {
 // row is zeroed just before accumulation, so out need not be pre-zeroed.
 func mulRange[T Element](out, a, b *GDense[T], lo, hi int) {
 	n := b.C
+	bs := b.RowStride()
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -107,7 +171,7 @@ func mulRange[T Element](out, a, b *GDense[T], lo, hi int) {
 			if aik == 0 {
 				continue
 			}
-			brow := b.Data[k*n : k*n+n]
+			brow := b.Data[k*bs : k*bs+n]
 			for j, bkj := range brow {
 				orow[j] += aik * bkj
 			}
@@ -127,34 +191,58 @@ func MulTWith[T Element](e *compute.Engine, ws *compute.Workspace, a, b *GDense[
 		panic("mat: MulT dimension mismatch")
 	}
 	out := GetDenseRawOf[T](ws, a.C, b.C)
+	mulTIntoWith(e, out, a, b)
+	return out
+}
+
+// MulTIntoWith computes dst = aᵀ*b on engine e, reusing dst's storage
+// (prior contents are overwritten; dst may come straight from a
+// workspace or alias a caller-owned payload buffer). dst must be
+// a.C×b.C and must not alias a or b.
+func MulTIntoWith[T Element](e *compute.Engine, dst, a, b *GDense[T]) {
+	if a.R != b.R {
+		panic("mat: MulTInto dimension mismatch")
+	}
+	if dst.R != a.C || dst.C != b.C {
+		panic("mat: MulTInto output shape mismatch")
+	}
+	if overlaps(dst.Data, a.Data) || overlaps(dst.Data, b.Data) {
+		panic("mat: MulTInto destination aliases an operand")
+	}
+	mulTIntoWith(e, dst, a, b)
+}
+
+func mulTIntoWith[T Element](e *compute.Engine, out, a, b *GDense[T]) {
 	if usePacked(a.C, a.R, b.C) {
+		if skinnyShape[T](a.C, a.R, b.C) {
+			skinnyGemm(e, denseView(out), denseView(a), true, denseView(b), gemmSet)
+			return
+		}
 		gemmView(e, denseView(out), denseView(a), true, denseView(b), false, gemmSet)
-		return out
+		return
 	}
 	mulTRange(out, a, b, 0, a.C)
-	return out
 }
 
 // mulTRange computes rows [lo,hi) of out = aᵀb. Row i of the output is
 // Σ_k a[k][i] * b[k][:], streaming both a and b row-wise. The band's
 // output rows are zeroed up front, so out need not be pre-zeroed.
 func mulTRange[T Element](out, a, b *GDense[T], lo, hi int) {
-	n := b.C
 	for i := lo; i < hi; i++ {
-		row := out.Data[i*n : i*n+n]
+		row := out.Row(i)
 		for j := range row {
 			row[j] = 0
 		}
 	}
 	for k := 0; k < a.R; k++ {
 		arow := a.Row(k)
-		brow := b.Data[k*n : k*n+n]
+		brow := b.Row(k)
 		for i := lo; i < hi; i++ {
 			aki := arow[i]
 			if aki == 0 {
 				continue
 			}
-			orow := out.Data[i*n : i*n+n]
+			orow := out.Row(i)
 			for j, bkj := range brow {
 				orow[j] += aki * bkj
 			}
@@ -190,15 +278,39 @@ func Gram[T Element](m *GDense[T], byCols bool) *GDense[T] {
 // GramWith computes the Gram matrix on engine e, borrowing the result
 // from ws (nil ws allocates).
 func GramWith[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T], byCols bool) *GDense[T] {
-	if byCols {
-		return gramCols(e, ws, m)
+	n := m.C
+	if !byCols {
+		n = m.R
 	}
-	return gramRows(e, ws, m)
+	out := GetDenseRawOf[T](ws, n, n)
+	GramIntoWith(e, out, m, byCols)
+	return out
 }
 
-func gramRows[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T]) *GDense[T] {
+// GramIntoWith computes dst = mᵀm (byCols) or m mᵀ into dst, reusing
+// dst's storage — for callers accumulating into a collective payload
+// without an intermediate copy. dst must be square of the appropriate
+// dimension and must not alias m.
+func GramIntoWith[T Element](e *compute.Engine, dst *GDense[T], m *GDense[T], byCols bool) {
+	n := m.C
+	if !byCols {
+		n = m.R
+	}
+	if dst.R != n || dst.C != n {
+		panic("mat: GramInto output shape mismatch")
+	}
+	if overlaps(dst.Data, m.Data) {
+		panic("mat: GramInto destination aliases the operand")
+	}
+	if byCols {
+		gramColsInto(e, dst, m)
+	} else {
+		gramRowsInto(e, dst, m)
+	}
+}
+
+func gramRowsInto[T Element](e *compute.Engine, out *GDense[T], m *GDense[T]) {
 	n := m.R
-	out := GetDenseRawOf[T](ws, n, n)
 	if usePacked(n, m.C, n) {
 		// m·mᵀ through the packed kernel; the transpose is absorbed by
 		// the B-packing read. The product is symmetric by construction
@@ -210,7 +322,6 @@ func gramRows[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T])
 		gramRowsRange(out, m, 0, n)
 	}
 	mirrorUpperToLower(out)
-	return out
 }
 
 func gramRowsRange[T Element](out, m *GDense[T], lo, hi int) {
@@ -228,17 +339,25 @@ func gramRowsRange[T Element](out, m *GDense[T], lo, hi int) {
 	}
 }
 
-func gramCols[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T]) *GDense[T] {
-	// mᵀm through the packed kernel when large; the rank-1 accumulation
-	// below handles small inputs without packing overhead.
+func gramColsInto[T Element](e *compute.Engine, out *GDense[T], m *GDense[T]) {
+	// mᵀm through the skinny or packed kernel when large; the rank-1
+	// accumulation below handles small inputs without packing overhead.
 	n := m.C
 	if usePacked(n, m.R, n) {
-		out := GetDenseRawOf[T](ws, n, n)
-		gemmView(e, denseView(out), denseView(m), true, denseView(m), false, gemmSet)
+		if skinnyShape[T](n, m.R, n) {
+			skinnyGemm(e, denseView(out), denseView(m), true, denseView(m), gemmSet)
+		} else {
+			gemmView(e, denseView(out), denseView(m), true, denseView(m), false, gemmSet)
+		}
 		mirrorUpperToLower(out)
-		return out
+		return
 	}
-	out := GetDenseOf[T](ws, n, n)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
 	for k := 0; k < m.R; k++ {
 		row := m.Row(k)
 		for i := 0; i < n; i++ {
@@ -246,14 +365,13 @@ func gramCols[T Element](e *compute.Engine, ws *compute.Workspace, m *GDense[T])
 			if ri == 0 {
 				continue
 			}
-			orow := out.Data[i*n : i*n+n]
+			orow := out.Row(i)
 			for j := i; j < n; j++ {
 				orow[j] += ri * row[j]
 			}
 		}
 	}
 	mirrorUpperToLower(out)
-	return out
 }
 
 // mirrorUpperToLower copies the strict upper triangle of the square

@@ -56,6 +56,15 @@ func QRFactorOn[T Element](e *compute.Engine, ws *compute.Workspace, a *GDense[T
 	if m < n {
 		panic("mat: QRFactor requires rows >= cols")
 	}
+	if n <= qrSmallMax {
+		return qrSmall(ws, a)
+	}
+	return qrBlocked(e, ws, a)
+}
+
+// qrBlocked is the general transposed blocked-CGS2/MGS2 path.
+func qrBlocked[T Element](e *compute.Engine, ws *compute.Workspace, a *GDense[T]) *GQR[T] {
+	n := a.C
 	qt := TWith(ws, a) // n×m: row j is column j of a
 	r := GetDenseOf[T](ws, n, n)
 	for j0 := 0; j0 < n; j0 += qrPanel {
@@ -107,15 +116,115 @@ func (qr *GQR[T]) Release(ws *compute.Workspace) {
 	PutDense(ws, qr.R)
 }
 
-// rowDot returns row i · row j of m (contiguous).
+// qrSmallMax is the column bound under which QRFactorOn takes the fused
+// small-panel path: the whole matrix is at most qrSmallMax columns wide
+// (the streaming update's residual blocks are m×w with w ≤ 8), so it is
+// cache-resident and the general path's transpose round trip costs more
+// than the factorization itself.
+const qrSmallMax = 16
+
+// qrSmall factors a ≤ qrSmallMax-column matrix by two-pass MGS directly
+// on the columns of one working copy — no transposes, no panel logic.
+// The dot/axpy/norm loops visit elements in exactly the same index order
+// as the transposed general path, so for n ≤ qrPanel the two paths
+// produce bit-identical factors (qr_test.go pins this).
+func qrSmall[T Element](ws *compute.Workspace, a *GDense[T]) *GQR[T] {
+	n := a.C
+	q := CloneWith(ws, a)
+	r := GetDenseOf[T](ws, n, n)
+	for j := 0; j < n; j++ {
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				dot := colDot(q, i, j)
+				r.Data[i*n+j] += dot
+				colAxpy(q, -dot, i, j)
+			}
+		}
+		nrm := colNorm(q, j)
+		r.Data[j*n+j] = nrm
+		if nrm > 0 {
+			colScale(q, j, 1/nrm)
+		}
+	}
+	return &GQR[T]{Q: q, R: r}
+}
+
+// colDot returns column i · column j of m. The 4-lane accumulator
+// round-robin breaks the loop-carried dependency chain; rowDot uses the
+// identical lane assignment and reduction so the small and blocked QR
+// paths keep producing bit-identical factors.
+func colDot[T Element](m *GDense[T], i, j int) T {
+	s := m.RowStride()
+	var a0, a1, a2, a3 T
+	r := 0
+	for ; r+4 <= m.R; r += 4 {
+		a0 += m.Data[r*s+i] * m.Data[r*s+j]
+		a1 += m.Data[(r+1)*s+i] * m.Data[(r+1)*s+j]
+		a2 += m.Data[(r+2)*s+i] * m.Data[(r+2)*s+j]
+		a3 += m.Data[(r+3)*s+i] * m.Data[(r+3)*s+j]
+	}
+	switch m.R - r {
+	case 3:
+		a2 += m.Data[(r+2)*s+i] * m.Data[(r+2)*s+j]
+		fallthrough
+	case 2:
+		a1 += m.Data[(r+1)*s+i] * m.Data[(r+1)*s+j]
+		fallthrough
+	case 1:
+		a0 += m.Data[r*s+i] * m.Data[r*s+j]
+	}
+	return (a0 + a1) + (a2 + a3)
+}
+
+// colAxpy does column j += alpha * column i.
+func colAxpy[T Element](m *GDense[T], alpha T, i, j int) {
+	s := m.RowStride()
+	for r := 0; r < m.R; r++ {
+		m.Data[r*s+j] += alpha * m.Data[r*s+i]
+	}
+}
+
+func colNorm[T Element](m *GDense[T], j int) T {
+	s := m.RowStride()
+	var d T
+	for r := 0; r < m.R; r++ {
+		v := m.Data[r*s+j]
+		d += v * v
+	}
+	return T(math.Sqrt(float64(d)))
+}
+
+func colScale[T Element](m *GDense[T], j int, sc T) {
+	s := m.RowStride()
+	for r := 0; r < m.R; r++ {
+		m.Data[r*s+j] *= sc
+	}
+}
+
+// rowDot returns row i · row j of m (contiguous). Lane structure matches
+// colDot exactly — see the note there.
 func rowDot[T Element](m *GDense[T], i, j int) T {
 	ri := m.Row(i)
 	rj := m.Row(j)
-	var s T
-	for k, v := range ri {
-		s += v * rj[k]
+	var a0, a1, a2, a3 T
+	k := 0
+	for ; k+4 <= len(ri); k += 4 {
+		a0 += ri[k] * rj[k]
+		a1 += ri[k+1] * rj[k+1]
+		a2 += ri[k+2] * rj[k+2]
+		a3 += ri[k+3] * rj[k+3]
 	}
-	return s
+	switch len(ri) - k {
+	case 3:
+		a2 += ri[k+2] * rj[k+2]
+		fallthrough
+	case 2:
+		a1 += ri[k+1] * rj[k+1]
+		fallthrough
+	case 1:
+		a0 += ri[k] * rj[k]
+	}
+	return (a0 + a1) + (a2 + a3)
 }
 
 // rowAxpy does row j += alpha * row i.

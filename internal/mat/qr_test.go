@@ -1,0 +1,58 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQRSmallMatchesBlockedBitwise pins the fused small-panel QR against
+// the general transposed path: for n ≤ qrPanel the blocked path runs no
+// CGS2 block and its MGS loops visit elements in the same index order as
+// qrSmall's column loops, so the factors must agree bit for bit. This is
+// what lets the small path slot under QRFactorOn without perturbing the
+// incremental-SVD scenario numerics.
+func TestQRSmallMatchesBlockedBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, c := range []struct{ m, n int }{
+		{200, 8},  // the streaming residual shape
+		{200, 16}, // at the qrSmallMax boundary
+		{17, 16},  // nearly square
+		{9, 1},    // single column
+	} {
+		a := randDense(rng, c.m, c.n)
+		small := qrSmall(nil, a)
+		blocked := qrBlocked(nil, nil, a)
+		for i := range small.Q.Data {
+			if small.Q.Data[i] != blocked.Q.Data[i] {
+				t.Fatalf("%dx%d: Q element %d: small %v vs blocked %v",
+					c.m, c.n, i, small.Q.Data[i], blocked.Q.Data[i])
+			}
+		}
+		for i := range small.R.Data {
+			if small.R.Data[i] != blocked.R.Data[i] {
+				t.Fatalf("%dx%d: R element %d: small %v vs blocked %v",
+					c.m, c.n, i, small.R.Data[i], blocked.R.Data[i])
+			}
+		}
+	}
+}
+
+// TestQRSmallStridedInput feeds the small path a column view, as the
+// streaming pipeline does, and checks the factors match the packed clone's.
+func TestQRSmallStridedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	parent := randDense(rng, 100, 40)
+	v := ColsView(parent, 5, 13) // 100×8 at stride 40
+	got := QRFactor(v)
+	want := QRFactor(v.Clone())
+	for i := range want.Q.Data {
+		if got.Q.Data[i] != want.Q.Data[i] {
+			t.Fatalf("Q element %d differs on strided input", i)
+		}
+	}
+	for i := range want.R.Data {
+		if got.R.Data[i] != want.R.Data[i] {
+			t.Fatalf("R element %d differs on strided input", i)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"time"
 	"unsafe"
+
+	"imrdmd/internal/compute"
 )
 
 // This file picks the GEMM kernel tier and cache-blocking parameters at
@@ -39,6 +41,13 @@ import (
 //	    skips cache probing and pins KC/MC/NC at the historical
 //	    256/128/512 for every tier (micro-tile geometry still follows
 //	    the tier).
+//	IMRDMD_GEMM_SKINNY = off
+//	    disables the pack-free small/skinny-shape dispatch tier
+//	    (skinny.go), forcing every above-threshold multiply through the
+//	    packed path. The skinny kernels replay the packed path's exact
+//	    per-element accumulation order (same KC chunking, same FMA or
+//	    mul-add shape per tier), so flipping this knob is bit-neutral —
+//	    the escape hatch exists for triage, not numerics.
 
 // kernelTier identifies which micro-kernel family gemmKernel dispatches
 // to. The zero value is the portable tier, so a GEMM that somehow runs
@@ -81,10 +90,11 @@ type cacheInfo struct {
 // probe (skipped under IMRDMD_GEMM_TUNE=off), then per-type blocking.
 var (
 	gemmTuned    = os.Getenv("IMRDMD_GEMM_TUNE") != "off"
+	gemmSkinny   = os.Getenv("IMRDMD_GEMM_SKINNY") != "off"
 	gemmTier     = resolveTier(detectKernelTier(), os.Getenv("IMRDMD_GEMM_KERNEL"))
 	kernelCaches = probeCaches(gemmTuned)
-	bp64         = deriveParams(gemmTier, 8, kernelCaches, gemmTuned)
-	bp32         = deriveParams(gemmTier, 4, kernelCaches, gemmTuned)
+	bp64         = deriveParams(gemmTier, 8, kernelCaches, gemmTuned, compute.Default().Workers())
+	bp32         = deriveParams(gemmTier, 4, kernelCaches, gemmTuned, compute.Default().Workers())
 )
 
 // gemmParams returns the active blocking for element type T. The sizeof
@@ -131,18 +141,25 @@ func probeCaches(tuned bool) cacheInfo {
 // deriveParams computes the blocking for one (tier, element size) pair.
 // Derivation targets (the standard Goto/BLIS residency argument):
 //
-//	KC·NR·esize ≈ L1d/2   one packed B strip stays L1-resident across a
-//	                      panel row of tiles (AVX-512 tier only; see the
-//	                      numeric-contract note atop this file)
-//	MC·KC·esize ≈ L2/3    one packed A panel stays L2-resident across
-//	                      the whole NC loop, leaving room for the B
-//	                      strip stream and dst traffic
-//	NC·KC·esize ≈ L3/8    bounds the shared B panel; larger NC amortizes
-//	                      A packing over more columns, capped so pooled
-//	                      pack buffers stay moderate
+//	KC·NR·esize ≈ L1d/2     one packed B strip stays L1-resident across a
+//	                        panel row of tiles (AVX-512 tier only; see the
+//	                        numeric-contract note atop this file)
+//	MC·KC·esize ≈ L2/3      one packed A panel stays L2-resident across
+//	                        the whole NC loop, leaving room for the B
+//	                        strip stream and dst traffic
+//	NC·KC·esize ≈ L3/w/8    bounds the shared B panel by this worker's
+//	                        *share* of the L3 — w concurrent engine lanes
+//	                        each stream their own A panels against it, so
+//	                        sizing against the full cache overcommits it
+//	                        w-fold; larger NC amortizes A packing over
+//	                        more columns, capped so pooled pack buffers
+//	                        stay moderate
 //
 // all rounded down to their tile multiple and clamped to sane ranges.
-func deriveParams(tier kernelTier, esize int, caches cacheInfo, tuned bool) blockParams {
+// workers is the engine fan-out width (engine.Workers()); NC is the only
+// output that depends on it — MC and KC are per-lane L2/L1 quantities and
+// the caches below L3 are private per core.
+func deriveParams(tier kernelTier, esize int, caches cacheInfo, tuned bool, workers int) blockParams {
 	p := blockParams{mr: 4, nr: 32 / esize, kc: 256, mc: 128, nc: 512}
 	if tier == tierAVX512 {
 		// 8×16 in both precisions: one 512-bit vector of floats per row,
@@ -167,7 +184,10 @@ func deriveParams(tier kernelTier, esize int, caches cacheInfo, tuned bool) bloc
 		p.kc = clampMult(l1/2/(p.nr*esize), 8, 128, 1024)
 	}
 	p.mc = clampMult(l2/3/(p.kc*esize), p.mr, 4*p.mr, 512)
-	p.nc = clampMult(l3/8/(p.kc*esize), p.nr, 4*p.nr, 1024)
+	if workers < 1 {
+		workers = 1
+	}
+	p.nc = clampMult(l3/workers/8/(p.kc*esize), p.nr, 4*p.nr, 1024)
 	return p
 }
 
@@ -261,6 +281,9 @@ type KernelInfo struct {
 	// Tuned is false when IMRDMD_GEMM_TUNE=off pinned the historical
 	// blocking constants instead of deriving them from the cache probe.
 	Tuned bool
+	// Skinny is false when IMRDMD_GEMM_SKINNY=off disabled the pack-free
+	// small/skinny-shape dispatch tier.
+	Skinny bool
 	// L1D, L2, L3 are the probed cache sizes in bytes (0 = unknown or
 	// probing skipped).
 	L1D, L2, L3 int
@@ -274,12 +297,13 @@ func Kernel() KernelInfo {
 		return KernelParams{MR: p.mr, NR: p.nr, KC: p.kc, MC: p.mc, NC: p.nc}
 	}
 	return KernelInfo{
-		Tier:  gemmTier.String(),
-		Tuned: gemmTuned,
-		L1D:   kernelCaches.l1d,
-		L2:    kernelCaches.l2,
-		L3:    kernelCaches.l3,
-		F64:   pub(bp64),
-		F32:   pub(bp32),
+		Tier:   gemmTier.String(),
+		Tuned:  gemmTuned,
+		Skinny: gemmSkinny,
+		L1D:    kernelCaches.l1d,
+		L2:     kernelCaches.l2,
+		L3:     kernelCaches.l3,
+		F64:    pub(bp64),
+		F32:    pub(bp32),
 	}
 }

@@ -33,9 +33,11 @@ func GetDenseRaw(ws *compute.Workspace, r, c int) *Dense {
 }
 
 // PutDense returns a matrix's storage to the pool. The matrix must not be
-// used afterwards. Nil m or ws is a no-op.
+// used afterwards. Nil m or ws is a no-op, as is a view (ColsView,
+// RowsView): a view's storage belongs to its parent, so recycling it here
+// would hand aliased memory to an unrelated borrower.
 func PutDense[T Element](ws *compute.Workspace, m *GDense[T]) {
-	if m == nil {
+	if m == nil || m.noPool {
 		return
 	}
 	compute.PutFloats(ws, m.Data)
@@ -56,10 +58,16 @@ func PutCDense(ws *compute.Workspace, m *CDense) {
 	m.Data = nil
 }
 
-// CloneWith copies m into a matrix borrowed from ws.
+// CloneWith copies m into a (tightly packed) matrix borrowed from ws.
 func CloneWith[T Element](ws *compute.Workspace, m *GDense[T]) *GDense[T] {
 	out := GetDenseRawOf[T](ws, m.R, m.C)
-	copy(out.Data, m.Data)
+	if m.packed() {
+		copy(out.Data, m.Data)
+		return out
+	}
+	for i := 0; i < m.R; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
 	return out
 }
 
@@ -70,7 +78,7 @@ func ColSliceWith[T Element](ws *compute.Workspace, m *GDense[T], j0, j1 int) *G
 	}
 	out := GetDenseRawOf[T](ws, m.R, j1-j0)
 	for i := 0; i < m.R; i++ {
-		copy(out.Row(i), m.Data[i*m.C+j0:i*m.C+j1])
+		copy(out.Row(i), m.Row(i)[j0:j1])
 	}
 	return out
 }
@@ -113,8 +121,12 @@ func VStackWith[T Element](ws *compute.Workspace, a, b *GDense[T]) *GDense[T] {
 		panic("mat: VStack col mismatch")
 	}
 	out := GetDenseRawOf[T](ws, a.R+b.R, a.C)
-	copy(out.Data[:len(a.Data)], a.Data)
-	copy(out.Data[len(a.Data):], b.Data)
+	for i := 0; i < a.R; i++ {
+		copy(out.Row(i), a.Row(i))
+	}
+	for i := 0; i < b.R; i++ {
+		copy(out.Row(a.R+i), b.Row(i))
+	}
 	return out
 }
 
@@ -122,12 +134,13 @@ func VStackWith[T Element](ws *compute.Workspace, a, b *GDense[T]) *GDense[T] {
 func TWith[T Element](ws *compute.Workspace, m *GDense[T]) *GDense[T] {
 	t := GetDenseRawOf[T](ws, m.C, m.R)
 	const bs = 64
+	ms := m.RowStride()
 	for ii := 0; ii < m.R; ii += bs {
 		iMax := min(ii+bs, m.R)
 		for jj := 0; jj < m.C; jj += bs {
 			jMax := min(jj+bs, m.C)
 			for i := ii; i < iMax; i++ {
-				row := m.Data[i*m.C:]
+				row := m.Data[i*ms:]
 				for j := jj; j < jMax; j++ {
 					t.Data[j*m.R+i] = row[j]
 				}
@@ -140,8 +153,11 @@ func TWith[T Element](ws *compute.Workspace, m *GDense[T]) *GDense[T] {
 // ComplexWith converts a real matrix to a complex one borrowed from ws.
 func ComplexWith(ws *compute.Workspace, a *Dense) *CDense {
 	out := &CDense{R: a.R, C: a.C, Data: ws.GetC128(a.R * a.C)}
-	for i, v := range a.Data {
-		out.Data[i] = complex(v, 0)
+	for i := 0; i < a.R; i++ {
+		orow := out.Data[i*a.C : (i+1)*a.C]
+		for j, v := range a.Row(i) {
+			orow[j] = complex(v, 0)
+		}
 	}
 	return out
 }

@@ -142,9 +142,11 @@ func (c *Coordinator) mutateStats(fn func(*Stats)) {
 	c.statsMu.Unlock()
 }
 
-// rowView returns rows [lo,hi) of m as a view into its storage.
+// rowView returns rows [lo,hi) of m as a view into its storage. Routed
+// through mat.RowsView so strided column blocks (EachUpdateBlock hands
+// out zero-copy views) slice correctly.
 func rowView(m *mat.Dense, lo, hi int) *mat.Dense {
-	return &mat.Dense{R: hi - lo, C: m.C, Data: m.Data[lo*m.C : hi*m.C]}
+	return mat.RowsView(m, lo, hi)
 }
 
 // UpdateBlock absorbs cols in chunks of w columns (w <= 0 or >= cols.C

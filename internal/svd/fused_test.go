@@ -1,0 +1,87 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/mat"
+)
+
+// TestShardBlockPayloadFusedEquivalence pins the fused payload build
+// (ShardBlockPayload writing L = UᵀC and G = CᵀC straight into the
+// collective buffer) against an explicit two-pass reference that computes
+// each product into its own matrix and copies it in. The fused path runs
+// the identical kernels into different storage, so the agreement bound is
+// exact; the 1e-13 relative tolerance is the contract the streaming
+// pipeline relies on and the bitwise check documents the current margin.
+func TestShardBlockPayloadFusedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, c := range []struct{ m, q, w int }{
+		{200, 48, 8},  // the streaming hot shape
+		{101, 32, 5},  // ragged rows, narrow block
+		{4096, 64, 8}, // huge inner dimension (inner-product class)
+	} {
+		u := mat.NewDense(c.m, c.q)
+		cc := mat.NewDense(c.m, c.w)
+		for i := range u.Data {
+			u.Data[i] = rng.NormFloat64()
+		}
+		for i := range cc.Data {
+			cc.Data[i] = rng.NormFloat64()
+		}
+		fused := make([]float64, BlockPayloadLen(c.q, c.w))
+		ShardBlockPayload(nil, nil, u, cc, fused)
+
+		l := mat.MulTWith(nil, nil, u, cc)
+		g := mat.GramWith(nil, nil, cc, true)
+		ref := make([]float64, BlockPayloadLen(c.q, c.w))
+		copy(ref[:c.q*c.w], l.Data)
+		copy(ref[c.q*c.w:], g.Data)
+
+		var maxRel float64
+		for i := range ref {
+			d := math.Abs(fused[i] - ref[i])
+			if rel := d / (1 + math.Abs(ref[i])); rel > maxRel {
+				maxRel = rel
+			}
+			if fused[i] != ref[i] {
+				t.Errorf("m=%d q=%d w=%d: payload element %d: fused %v vs two-pass %v",
+					c.m, c.q, c.w, i, fused[i], ref[i])
+			}
+		}
+		if maxRel > 1e-13 {
+			t.Fatalf("m=%d q=%d w=%d: fused payload deviates by %g (tolerance 1e-13)",
+				c.m, c.q, c.w, maxRel)
+		}
+	}
+}
+
+// TestShardBlockPayloadStridedBlock feeds ShardBlockPayload a strided
+// column view of the incoming block — exactly what EachUpdateBlock hands
+// the coordinator — and requires the payload to match the packed-clone
+// run bit for bit (the kernels visit elements in the same order at any
+// stride).
+func TestShardBlockPayloadStridedBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	const m, q, w, total = 150, 40, 8, 40
+	u := mat.NewDense(m, q)
+	parent := mat.NewDense(m, total)
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64()
+	}
+	for i := range parent.Data {
+		parent.Data[i] = rng.NormFloat64()
+	}
+	cv := mat.ColsView(parent, 16, 16+w)
+
+	strided := make([]float64, BlockPayloadLen(q, w))
+	ShardBlockPayload(nil, nil, u, cv, strided)
+	packed := make([]float64, BlockPayloadLen(q, w))
+	ShardBlockPayload(nil, nil, u, cv.Clone(), packed)
+	for i := range packed {
+		if strided[i] != packed[i] {
+			t.Fatalf("payload element %d: strided %v vs packed %v", i, strided[i], packed[i])
+		}
+	}
+}

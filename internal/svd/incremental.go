@@ -134,8 +134,12 @@ func (inc *Incremental) update(c *mat.Dense) {
 	// L = Uᵀ C (q×k); H = C − U L, the out-of-basis residual.
 	l := mat.MulTWith(inc.eng, ws, inc.U, c)
 	h := mat.MulWith(inc.eng, ws, inc.U, l) // holds U·L, flipped to C − U·L below
-	for i := range h.Data {
-		h.Data[i] = c.Data[i] - h.Data[i]
+	for i := 0; i < h.R; i++ {
+		hrow := h.Row(i)
+		crow := c.Row(i)
+		for j := range hrow {
+			hrow[j] = crow[j] - hrow[j]
+		}
 	}
 	qr := mat.QRFactorOn(inc.eng, ws, h) // J (m×k) orthonormal, R (k×k)
 	mat.PutDense(ws, h)

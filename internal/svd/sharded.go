@@ -43,9 +43,9 @@ import (
 // incremental updates absorb and invokes fn on each block in order:
 // chunks of w columns (w ≤ 0, or w ≥ c.C, is a single chunk), each
 // further split so no block is wider than maxW — the row count, keeping
-// the residual QR tall. Chunk copies are workspace-borrowed and recycled;
-// when the schedule is a single block, c itself is passed through without
-// copying. Shared by svd.Incremental and shard.Coordinator so sharded and
+// the residual QR tall. Blocks are zero-copy column views into c (stride
+// = c.C); when the schedule is a single block, c itself is passed through.
+// Shared by svd.Incremental and shard.Coordinator so sharded and
 // unsharded streams absorb identical block sequences.
 func EachUpdateBlock(ws *compute.Workspace, c *mat.Dense, w, maxW int, fn func(*mat.Dense)) {
 	if c.C == 0 {
@@ -56,22 +56,16 @@ func EachUpdateBlock(ws *compute.Workspace, c *mat.Dense, w, maxW int, fn func(*
 	}
 	for j := 0; j < c.C; j += w {
 		hi := min(j+w, c.C)
-		blk, copied := c, false
+		blk := c
 		if j != 0 || hi != c.C {
-			blk = mat.ColSliceWith(ws, c, j, hi)
-			copied = true
+			blk = mat.ColsView(c, j, hi)
 		}
 		if blk.C > maxW {
 			for i := 0; i < blk.C; i += maxW {
-				sub := mat.ColSliceWith(ws, blk, i, min(i+maxW, blk.C))
-				fn(sub)
-				mat.PutDense(ws, sub)
+				fn(mat.ColsView(blk, i, min(i+maxW, blk.C)))
 			}
 		} else {
 			fn(blk)
-		}
-		if copied {
-			mat.PutDense(ws, blk)
 		}
 	}
 }
@@ -105,19 +99,19 @@ func GramPayloadLen(q int) int { return q * q }
 // update collective into dst (length BlockPayloadLen(q, w), row-major):
 // rows [0,q) hold L_s = U_sᵀC_s, rows [q,q+w) hold G_s = C_sᵀC_s. u is the
 // shard's row slice of U (m_s×q) and c the shard's rows of the incoming
-// block (m_s×w). Pure shard-local reads; safe to run concurrently across
-// shards.
+// block (m_s×w). Both products write straight into the payload halves —
+// no intermediate borrow or copy — and c stays cache-resident between the
+// two passes, so the pair behaves as one fused sweep over the block. Pure
+// shard-local reads; safe to run concurrently across shards.
 func ShardBlockPayload(e *compute.Engine, ws *compute.Workspace, u, c *mat.Dense, dst []float64) {
 	q, w := u.C, c.C
 	if len(dst) != BlockPayloadLen(q, w) {
 		panic(fmt.Sprintf("svd: ShardBlockPayload dst length %d, want %d", len(dst), BlockPayloadLen(q, w)))
 	}
-	l := mat.MulTWith(e, ws, u, c) // q×w
-	copy(dst[:q*w], l.Data)
-	mat.PutDense(ws, l)
-	g := mat.GramWith(e, ws, c, true) // w×w
-	copy(dst[q*w:], g.Data)
-	mat.PutDense(ws, g)
+	l := &mat.Dense{R: q, C: w, Data: dst[:q*w]}
+	mat.MulTIntoWith(e, l, u, c)
+	g := &mat.Dense{R: w, C: w, Data: dst[q*w:]}
+	mat.GramIntoWith(e, g, c, true)
 }
 
 // ShardGramPayload computes one shard's contribution to the
@@ -262,8 +256,12 @@ func PlanBlockUpdate(e *compute.Engine, ws *compute.Workspace, s []float64, v *m
 func ApplyShardBlock(e *compute.Engine, ws *compute.Workspace, dst, u, c *mat.Dense, plan *BlockPlan) {
 	mat.MulIntoWith(e, dst, u, plan.UA)
 	tmp := mat.MulWith(e, ws, c, plan.CB)
-	for i := range dst.Data {
-		dst.Data[i] += tmp.Data[i]
+	for i := 0; i < dst.R; i++ {
+		drow := dst.Row(i)
+		trow := tmp.Row(i)
+		for j := range drow {
+			drow[j] += trow[j]
+		}
 	}
 	mat.PutDense(ws, tmp)
 }

@@ -186,10 +186,15 @@ func jacobiSVDWS[T mat.Element](e *compute.Engine, a *mat.GDense[T], ws *compute
 		}
 		return &GResult[T]{U: u, S: rs.S, V: v}
 	}
-	w := mat.CloneWith(ws, a) // columns will be rotated into U·Σ
-	v := mat.GetDenseOf[T](ws, n, n)
+	// The sweeps run on the TRANSPOSE of a: column j becomes contiguous
+	// row j, so every pair dot and rotation streams two unit-stride rows
+	// instead of gathering at stride n. The per-element arithmetic and
+	// accumulation order (k ascending) are identical to the column form,
+	// so the factors are bit-identical — only the memory layout changes.
+	wt := mat.TWith(ws, a) // n×m: row j will be rotated into column j of U·Σ
+	vt := mat.GetDenseOf[T](ws, n, n)
 	for i := 0; i < n; i++ {
-		v.Data[i*n+i] = 1
+		vt.Data[i*n+i] = 1
 	}
 
 	const maxSweeps = 48
@@ -200,15 +205,33 @@ func jacobiSVDWS[T mat.Element](e *compute.Engine, a *mat.GDense[T], ws *compute
 		rotated := false
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				var app, aqq, apq float64
-				for k := 0; k < m; k++ {
-					row := w.Data[k*n:]
-					wp := float64(row[p])
-					wq := float64(row[q])
-					app += wp * wp
-					aqq += wq * wq
-					apq += wp * wq
+				rp := wt.Data[p*m : p*m+m]
+				rq := wt.Data[q*m : q*m+m]
+				// Two accumulator lanes per sum: the three running sums
+				// share one loop-carried chain each, and splitting them
+				// by parity roughly doubles the issue rate on the pair
+				// scan, the O(n²m) part the convergence test always pays.
+				var app0, app1, aqq0, aqq1, apq0, apq1 float64
+				k := 0
+				for ; k+2 <= m; k += 2 {
+					wp0, wq0 := float64(rp[k]), float64(rq[k])
+					wp1, wq1 := float64(rp[k+1]), float64(rq[k+1])
+					app0 += wp0 * wp0
+					aqq0 += wq0 * wq0
+					apq0 += wp0 * wq0
+					app1 += wp1 * wp1
+					aqq1 += wq1 * wq1
+					apq1 += wp1 * wq1
 				}
+				if k < m {
+					wp, wq := float64(rp[k]), float64(rq[k])
+					app0 += wp * wp
+					aqq0 += wq * wq
+					apq0 += wp * wq
+				}
+				app := app0 + app1
+				aqq := aqq0 + aqq1
+				apq := apq0 + apq1
 				if app == 0 || aqq == 0 {
 					continue
 				}
@@ -226,16 +249,16 @@ func jacobiSVDWS[T mat.Element](e *compute.Engine, a *mat.GDense[T], ws *compute
 				c := T(1 / math.Sqrt(1+t*t))
 				s := T(t) * c
 				for k := 0; k < m; k++ {
-					row := w.Data[k*n:]
-					wp, wq := row[p], row[q]
-					row[p] = c*wp - s*wq
-					row[q] = s*wp + c*wq
+					wp, wq := rp[k], rq[k]
+					rp[k] = c*wp - s*wq
+					rq[k] = s*wp + c*wq
 				}
+				vp0 := vt.Data[p*n : p*n+n]
+				vq0 := vt.Data[q*n : q*n+n]
 				for k := 0; k < n; k++ {
-					row := v.Data[k*n:]
-					vp, vq := row[p], row[q]
-					row[p] = c*vp - s*vq
-					row[q] = s*vp + c*vq
+					vp, vq := vp0[k], vq0[k]
+					vp0[k] = c*vp - s*vq
+					vq0[k] = s*vp + c*vq
 				}
 			}
 		}
@@ -244,16 +267,18 @@ func jacobiSVDWS[T mat.Element](e *compute.Engine, a *mat.GDense[T], ws *compute
 		}
 	}
 
-	// Singular values are the column norms; U the normalized columns.
+	// Singular values are the rotated rows' norms (= column norms of U·Σ);
+	// U the normalized columns.
 	type triplet struct {
 		s   float64
 		idx int
 	}
 	tr := make([]triplet, n)
 	for j := 0; j < n; j++ {
+		row := wt.Data[j*m : j*m+m]
 		var s float64
 		for k := 0; k < m; k++ {
-			x := float64(w.Data[k*n+j])
+			x := float64(row[k])
 			s += x * x
 		}
 		tr[j] = triplet{math.Sqrt(s), j}
@@ -296,15 +321,17 @@ func jacobiSVDWS[T mat.Element](e *compute.Engine, a *mat.GDense[T], ws *compute
 		if sv > 0 {
 			inv = 1 / sv
 		}
+		wrow := wt.Data[j*m : j*m+m]
 		for k := 0; k < m; k++ {
-			u.Data[k*rank+jOut] = w.Data[k*n+j] * T(inv)
+			u.Data[k*rank+jOut] = wrow[k] * T(inv)
 		}
+		vrow := vt.Data[j*n : j*n+n]
 		for k := 0; k < n; k++ {
-			vv.Data[k*rank+jOut] = v.Data[k*n+j]
+			vv.Data[k*rank+jOut] = vrow[k]
 		}
 	}
-	mat.PutDense(ws, w)
-	mat.PutDense(ws, v)
+	mat.PutDense(ws, wt)
+	mat.PutDense(ws, vt)
 	return &GResult[T]{U: u, S: ss, V: vv}
 }
 
