@@ -40,6 +40,9 @@ func main() {
 		blkCols   = flag.Int("block-columns", 8, "incremental-SVD block-column width (1 = column at a time, 0 = one block per batch)")
 		precision = flag.String("precision", "float64", `arithmetic tier: "float64" or "mixed"`)
 		shards    = flag.Int("shards", 1, "row-shard count for the streaming level-1 SVD (1 = unsharded)")
+		driftWin  = flag.Int("drift-window", 0, "trailing slow-grid columns compared for drift (0 = full grid, bit-stable)")
+		ampWin    = flag.Int("amp-window", 0, "trailing slow-grid columns used by the level-1 amplitude refit (0 = full width)")
+		coldHzn   = flag.Int("cold-horizon", 0, "columns kept in float64; older history demotes to float32 (0 = never demote)")
 		outDir    = flag.String("out", ".", "output directory")
 	)
 	flag.Usage = func() {
@@ -89,6 +92,25 @@ Performance knobs and how they interact:
                      agreement with the unsharded mixed run loosens to
                      screening accuracy (2e-5). Shard work fans out over
                      the same -workers lanes.
+  -drift-window K    Compares only the trailing K slow-grid columns when
+                     measuring per-update level-1 drift, so the drift
+                     check costs O(K) instead of O(T/stride) per batch.
+                     0 (default) compares the full grid and is bit-stable
+                     with prior releases.
+  -amp-window W      Fits level-1 mode amplitudes against the trailing W
+                     slow-grid columns instead of the whole grid. Modes
+                     whose envelope has decayed below 5%% of the dominant
+                     mode's inside the window are reported absent rather
+                     than noise-amplified. 0 (default) = full width,
+                     bit-stable.
+  -cold-horizon H    Demotes raw history older than H columns from
+                     float64 to float32 chunks — roughly halving resident
+                     bytes per long-running stream. The streaming SVD and
+                     new-window fits only ever read columns younger than
+                     the horizon, so the spectrum is bit-identical; only
+                     raw-history reads and the reconstruction error see
+                     f32 rounding on cold columns. 0 (default) keeps
+                     everything in float64.
 
 Options:
 `)
@@ -124,6 +146,7 @@ Options:
 		DT: *dt, MaxLevels: *levels, MaxCycles: *cycles,
 		UseSVHT: *svht, Rank: *rank, Parallel: true, Workers: *workers,
 		BlockColumns: *blkCols, Precision: *precision, Shards: *shards,
+		DriftWindow: *driftWin, AmplitudeWindow: *ampWin, ColdHorizon: *coldHzn,
 	})
 	if err != nil {
 		log.Fatal(err)

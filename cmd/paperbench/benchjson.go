@@ -127,6 +127,14 @@ type benchMetric struct {
 	ReadsPerSec float64 `json:"reads_per_sec,omitempty"`
 	ReadP50Ms   float64 `json:"read_p50_ms,omitempty"`
 	ReadP99Ms   float64 `json:"read_p99_ms,omitempty"`
+	// Longrun entries (the flat-horizon streaming sweep) report the
+	// per-tenant resident raw-history footprint at the probe point from
+	// the analyzer's own tier accounting, and how many of those columns
+	// sit in the f32 cold tier. Their NsPerOp is the median of N
+	// hand-timed batches on one long-lived analyzer, not a
+	// testing.Benchmark rebuild loop.
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
+	RawColdCols   int   `json:"raw_cold_cols,omitempty"`
 }
 
 func metricOf(r testing.BenchmarkResult) benchMetric {
@@ -351,6 +359,27 @@ func writeBenchJSON(path string, workers int) error {
 		return err
 	}
 	snap.Benchmarks["ingest_throughput_sclog_b40_x50"] = m
+
+	// Flat-horizon longrun sweep (DESIGN.md §10): one tenant streamed
+	// through T ∈ {2048, 8192, 16384} under the windowed + cold-tier
+	// configuration. The acceptance shape is per-batch latency flat in T
+	// (the O(Δ) pipeline plus windowed drift/amplitude work make the
+	// update independent of history length) and resident bytes well below
+	// the full-f64 nocold control at the same T.
+	longCold, err := longrunSweep(workers, []int{2048, 8192, 16384}, longrunColdHorizon)
+	if err != nil {
+		return err
+	}
+	for tp, m := range longCold {
+		snap.Benchmarks[fmt.Sprintf("partial_fit_longrun_t%d", tp)] = m
+	}
+	longHot, err := longrunSweep(workers, []int{2048, 16384}, 0)
+	if err != nil {
+		return err
+	}
+	for tp, m := range longHot {
+		snap.Benchmarks[fmt.Sprintf("partial_fit_longrun_nocold_t%d", tp)] = m
+	}
 
 	// Lock-free read-path sweep: the same streaming tenant polled by 1, 2,
 	// 4 and 8 concurrent readers for a fixed window each. The reads/s and

@@ -35,6 +35,7 @@ func main() {
 		workers = flag.Int("workers", 0, "compute-engine worker lanes for the -bench-json run (0 = GOMAXPROCS); experiment paths use the default pool")
 		bjson   = flag.String("bench-json", "", "write a Mul/PartialFit benchmark snapshot (ns/op, allocs/op) to this file, e.g. BENCH_pr1.json, and exit")
 		qsmoke  = flag.Bool("query-smoke", false, "run a short query-throughput smoke (2 readers, ~0.3s) and exit")
+		tlong   = flag.String("t-long", "", "comma-separated stream lengths (e.g. 2048,4096): run the flat-horizon longrun sweep — per-batch latency and resident bytes at each probe — and exit")
 		kinfo   = flag.Bool("kernel-info", false, "print the GEMM kernel tier, probed caches and derived blocking, and exit")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	)
@@ -63,6 +64,12 @@ func main() {
 		}
 		fmt.Printf("query smoke: %.0f reads/s across %d readers (read p50 %.3f ms p99 %.3f ms; concurrent ingest %.1f batches/s p50 %.3f ms p99 %.3f ms)\n",
 			m.ReadsPerSec, m.Readers, m.ReadP50Ms, m.ReadP99Ms, m.BatchesPerSec, m.P50Ms, m.P99Ms)
+		return
+	}
+	if *tlong != "" {
+		if err := runLongrunSmoke(*workers, *tlong); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *bjson != "" {

@@ -93,6 +93,31 @@ type Options struct {
 	// agreement with the unsharded mixed run loosens to screening
 	// accuracy (test-pinned at 2e-5). See DESIGN.md §7.
 	Shards int
+	// DriftWindow bounds the drift measurement — the per-update comparison
+	// of old versus new level-1 slow reconstructions — to the trailing
+	// DriftWindow level-1 grid columns, making that stage O(window) instead
+	// of O(absorbed history). 0 (the default) measures over the full grid,
+	// bit-identical to prior releases. Pairs naturally with DriftThreshold:
+	// a bounded window reacts to recent change rather than diluting it
+	// across the whole timeline. See DESIGN.md §10.
+	DriftWindow int
+	// AmplitudeWindow bounds the level-1 amplitude refit (the Jovanović
+	// least-squares fit re-run every PartialFit) to the trailing
+	// AmplitudeWindow level-1 grid columns. Amplitudes stay referenced to
+	// t=0; modes that decayed away before the window opens are reported
+	// with amplitude 0 (the window carries no information about them).
+	// 0 (the default) fits over the full grid, bit-identical to prior
+	// releases. See DESIGN.md §10 for the agreement tolerances.
+	AmplitudeWindow int
+	// ColdHorizon, when positive, demotes absorbed raw columns older than
+	// this many steps from float64 to float32 chunk storage — roughly
+	// halving resident history bytes for long streams. The trailing
+	// ColdHorizon columns (and everything the update pipeline fits
+	// against) stay exact f64; only full-resolution raw reads (Raw,
+	// ReconstructionError, snapshots) observe the ≤2⁻²⁴ relative rounding
+	// on cold columns. 0 (the default) keeps all history in float64.
+	// See DESIGN.md §10.
+	ColdHorizon int
 
 	// DriftThreshold, when positive, recomputes previously fitted levels
 	// when the level-1 slow-mode drift exceeds it (Algorithm 1's
@@ -104,18 +129,21 @@ type Options struct {
 
 func (o Options) toCore() core.Options {
 	return core.Options{
-		DT:            o.DT,
-		MaxLevels:     o.MaxLevels,
-		MaxCycles:     o.MaxCycles,
-		NyquistFactor: o.NyquistFactor,
-		Rank:          o.Rank,
-		UseSVHT:       o.UseSVHT,
-		MinWindow:     o.MinWindow,
-		Parallel:      o.Parallel,
-		Workers:       o.Workers,
-		BlockColumns:  o.BlockColumns,
-		Precision:     o.Precision,
-		Shards:        o.Shards,
+		DT:              o.DT,
+		MaxLevels:       o.MaxLevels,
+		MaxCycles:       o.MaxCycles,
+		NyquistFactor:   o.NyquistFactor,
+		Rank:            o.Rank,
+		UseSVHT:         o.UseSVHT,
+		MinWindow:       o.MinWindow,
+		Parallel:        o.Parallel,
+		Workers:         o.Workers,
+		BlockColumns:    o.BlockColumns,
+		Precision:       o.Precision,
+		Shards:          o.Shards,
+		DriftWindow:     o.DriftWindow,
+		AmplitudeWindow: o.AmplitudeWindow,
+		ColdHorizon:     o.ColdHorizon,
 	}
 }
 
@@ -199,20 +227,23 @@ func Restore(r io.Reader) (*Analyzer, error) {
 	}
 	co := inc.Options()
 	opts := Options{
-		DT:             co.DT,
-		MaxLevels:      co.MaxLevels,
-		MaxCycles:      co.MaxCycles,
-		NyquistFactor:  co.NyquistFactor,
-		Rank:           co.Rank,
-		UseSVHT:        co.UseSVHT,
-		MinWindow:      co.MinWindow,
-		Parallel:       co.Parallel,
-		Workers:        co.Workers,
-		BlockColumns:   co.BlockColumns,
-		Precision:      co.Precision,
-		Shards:         co.Shards,
-		DriftThreshold: inc.DriftThreshold,
-		AsyncRecompute: inc.AsyncRecompute,
+		DT:              co.DT,
+		MaxLevels:       co.MaxLevels,
+		MaxCycles:       co.MaxCycles,
+		NyquistFactor:   co.NyquistFactor,
+		Rank:            co.Rank,
+		UseSVHT:         co.UseSVHT,
+		MinWindow:       co.MinWindow,
+		Parallel:        co.Parallel,
+		Workers:         co.Workers,
+		BlockColumns:    co.BlockColumns,
+		Precision:       co.Precision,
+		Shards:          co.Shards,
+		DriftWindow:     co.DriftWindow,
+		AmplitudeWindow: co.AmplitudeWindow,
+		ColdHorizon:     co.ColdHorizon,
+		DriftThreshold:  inc.DriftThreshold,
+		AsyncRecompute:  inc.AsyncRecompute,
 	}
 	return &Analyzer{opts: opts, inc: inc}, nil
 }
@@ -238,8 +269,28 @@ func (a *Analyzer) Steps() int { return a.inc.Cols() }
 // Updates returns the number of PartialFits applied.
 func (a *Analyzer) Updates() int { return a.inc.Updates() }
 
-// DriftLog returns the drift recorded at each PartialFit.
+// DriftLog returns the drift recorded at recent PartialFits, oldest
+// first. The log is bounded: after very long streams only the most recent
+// entries (1024) are retained.
 func (a *Analyzer) DriftLog() []float64 { return a.inc.DriftLog() }
+
+// MemStats is the analyzer's resident history footprint by storage tier
+// (see Options.ColdHorizon).
+type MemStats struct {
+	// HotBytes / ColdBytes are the resident bytes of the exact float64
+	// tail and the float32 cold chunks.
+	HotBytes, ColdBytes int64
+	// Steps counts all absorbed time steps; ColdSteps how many of them
+	// live in the cold tier.
+	Steps, ColdSteps int
+}
+
+// MemStats reports the history-tier memory accounting — flat in stream
+// length for the hot part, halved for everything past ColdHorizon.
+func (a *Analyzer) MemStats() MemStats {
+	ms := a.inc.MemStats()
+	return MemStats{HotBytes: ms.HotBytes, ColdBytes: ms.ColdBytes, Steps: ms.Cols, ColdSteps: ms.ColdCols}
+}
 
 // Reconstruction returns the mrDMD approximation of everything absorbed —
 // the denoised signal of Fig. 3.

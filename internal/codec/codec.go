@@ -26,7 +26,14 @@ import (
 
 // Version is the current snapshot format version, written into every
 // header. Bump it when the field layout of any encoded section changes.
-const Version = 1
+//
+// Version history:
+//
+//	1 — initial format (PR 4..8): all-f64 raw history, unbounded driftLog.
+//	2 — flat-horizon streaming (PR 9): tiered raw history (f32 cold
+//	    chunks + f64 hot tail), windowed-pipeline options, bounded
+//	    driftLog. Readers still decode version-1 streams.
+const Version = 2
 
 // magic identifies an imrdmd snapshot stream.
 const magic = "IMRDSNAP"
@@ -66,12 +73,20 @@ type Writer struct {
 	err error
 }
 
-// NewWriter starts a snapshot stream on w, writing the magic/version
-// header immediately.
+// NewWriter starts a snapshot stream on w at the current Version, writing
+// the magic/version header immediately.
 func NewWriter(w io.Writer) *Writer {
+	return NewWriterVersion(w, Version)
+}
+
+// NewWriterVersion starts a snapshot stream at an explicit format version
+// — the hook compatibility tests use to produce historical streams. It
+// only stamps the header; the caller must emit the field layout that
+// version defines.
+func NewWriterVersion(w io.Writer, version uint32) *Writer {
 	e := &Writer{w: w, crc: crc32.NewIEEE()}
 	e.raw([]byte(magic))
-	e.U32(Version)
+	e.U32(version)
 	return e
 }
 
@@ -186,19 +201,34 @@ func (e *Writer) Dense(m *mat.Dense) {
 	}
 }
 
+// Dense32 writes a float32 matrix as its shape followed by the row-major
+// payload of 32-bit patterns — the cold-tier history sections of format
+// version ≥ 2. Like Dense, strided inputs serialize tightly.
+func (e *Writer) Dense32(m *mat.Dense32) {
+	e.Int(m.R)
+	e.Int(m.C)
+	for i := 0; i < m.R; i++ {
+		for _, x := range m.Row(i) {
+			e.U32(math.Float32bits(x))
+		}
+	}
+}
+
 // Reader deserializes a stream written by Writer. Like the Writer, errors
 // latch: after the first failure every getter returns a zero value, so
 // callers decode whole sections and check Err (or Close) once. A short
 // read surfaces as io.ErrUnexpectedEOF — the truncated-snapshot error.
 type Reader struct {
-	r   io.Reader
-	crc hash.Hash32
-	buf [8]byte
-	err error
+	r       io.Reader
+	crc     hash.Hash32
+	buf     [8]byte
+	version uint32
+	err     error
 }
 
 // NewReader opens a snapshot stream, validating the magic and version
-// header before returning.
+// header before returning. Every version from 1 through Version is
+// accepted; decoders branch on Version() for layouts that changed.
 func NewReader(r io.Reader) (*Reader, error) {
 	d := &Reader{r: r, crc: crc32.NewIEEE()}
 	var hdr [len(magic)]byte
@@ -209,14 +239,20 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(hdr[:]) != magic {
 		return nil, ErrMagic
 	}
-	if v := d.U32(); d.err != nil || v != Version {
-		if d.err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrVersion, d.err)
-		}
-		return nil, fmt.Errorf("%w: got %d, can read %d", ErrVersion, v, Version)
+	v := d.U32()
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVersion, d.err)
 	}
+	if v < 1 || v > Version {
+		return nil, fmt.Errorf("%w: got %d, can read 1..%d", ErrVersion, v, Version)
+	}
+	d.version = v
 	return d, nil
 }
+
+// Version reports the format version stamped in the stream header; decode
+// paths branch on it for sections whose layout changed across versions.
+func (d *Reader) Version() uint32 { return d.version }
 
 // Err returns the first error encountered, if any.
 func (d *Reader) Err() error { return d.err }
@@ -401,6 +437,26 @@ func (d *Reader) Dense() *mat.Dense {
 		return nil
 	}
 	return &mat.Dense{R: r, C: c, Data: data}
+}
+
+// Dense32 reads a float32 matrix written by Writer.Dense32.
+func (d *Reader) Dense32() *mat.Dense32 {
+	r := d.Len()
+	c := d.Len()
+	if d.err != nil {
+		return nil
+	}
+	if r > 0 && c > maxLen/r {
+		d.fail(fmt.Errorf("%w: matrix shape %d×%d too large", ErrCorrupt, r, c))
+		return nil
+	}
+	data := decodeSlice(d, r*c, func() float32 {
+		return math.Float32frombits(d.U32())
+	})
+	if d.err != nil {
+		return nil
+	}
+	return &mat.Dense32{R: r, C: c, Data: data}
 }
 
 func minInt(a, b int) int {

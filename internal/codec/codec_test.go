@@ -35,6 +35,11 @@ func encodeSample(t *testing.T) []byte {
 	}
 	w.Dense(m)
 	w.Dense(mat.NewDense(4, 0)) // degenerate shapes must round-trip too
+	m32 := mat.NewDense32(2, 3)
+	for i := range m32.Data {
+		m32.Data[i] = float32(i) * 0.25
+	}
+	w.Dense32(m32)
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -87,6 +92,10 @@ func TestRoundTrip(t *testing.T) {
 	if deg.R != 4 || deg.C != 0 || deg.Data == nil || len(deg.Data) != 0 {
 		t.Fatalf("degenerate Dense wrong: %+v", deg)
 	}
+	m32 := r.Dense32()
+	if m32.R != 2 || m32.C != 3 || m32.At(1, 2) != 1.25 {
+		t.Fatalf("Dense32 shape/content wrong: %+v", m32)
+	}
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -102,13 +111,41 @@ func TestBadMagic(t *testing.T) {
 }
 
 func TestVersionMismatch(t *testing.T) {
-	var buf bytes.Buffer
-	buf.WriteString(magic)
-	var v [4]byte
-	binary.LittleEndian.PutUint32(v[:], Version+7)
-	buf.Write(v[:])
-	if _, err := NewReader(&buf); !errors.Is(err, ErrVersion) {
-		t.Fatalf("want ErrVersion, got %v", err)
+	for _, bad := range []uint32{0, Version + 7} {
+		var buf bytes.Buffer
+		buf.WriteString(magic)
+		var v [4]byte
+		binary.LittleEndian.PutUint32(v[:], bad)
+		buf.Write(v[:])
+		if _, err := NewReader(&buf); !errors.Is(err, ErrVersion) {
+			t.Fatalf("version %d: want ErrVersion, got %v", bad, err)
+		}
+	}
+}
+
+// TestOlderVersionAccepted: every historical version opens, and the
+// stream's stamped version is surfaced for decode-time branching.
+func TestOlderVersionAccepted(t *testing.T) {
+	for v := uint32(1); v <= Version; v++ {
+		var buf bytes.Buffer
+		w := NewWriterVersion(&buf, v)
+		w.Int(99)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("version %d rejected: %v", v, err)
+		}
+		if r.Version() != v {
+			t.Fatalf("Version() = %d, want %d", r.Version(), v)
+		}
+		if got := r.Int(); got != 99 {
+			t.Fatalf("payload at version %d = %d", v, got)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -163,6 +200,7 @@ func drain(r *Reader) {
 	r.Complexes()
 	r.Dense()
 	r.Dense()
+	r.Dense32()
 }
 
 func TestWriterErrLatches(t *testing.T) {

@@ -26,22 +26,23 @@ import (
 func (inc *Incremental) AddSensors(rows *mat.Dense) error {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
-	if inc.raw == nil {
+	if inc.hist == nil {
 		return errors.New("core: AddSensors before InitialFit")
 	}
 	if rows.R == 0 {
 		return nil
 	}
-	if rows.C != inc.raw.C {
+	if rows.C != inc.hist.Cols() {
 		return fmt.Errorf("core: AddSensors needs the full %d-step history, got %d columns",
-			inc.raw.C, rows.C)
+			inc.hist.Cols(), rows.C)
 	}
 	if rows.HasNaN() {
 		return errors.New("core: input contains NaN or Inf")
 	}
-	grownRaw := mat.VStackWith(inc.ws, inc.raw, rows)
-	mat.PutDense(inc.ws, inc.raw)
-	inc.raw = grownRaw
+	inc.hist.AddRows(inc.ws, rows)
+	// The cached slow-grid evaluation spans the old sensor dimension;
+	// the next PartialFit re-evaluates fresh.
+	inc.invalidateSlowGrid()
 	newSub := mat.SubsampleWith(inc.ws, rows, inc.stride1)
 	// Keep the level-1 grid consistent: sub1 holds columns 0, s, 2s, …
 	if newSub.C != inc.sub1.C {
@@ -52,7 +53,7 @@ func (inc *Incremental) AddSensors(rows *mat.Dense) error {
 	grownSub := mat.VStackWith(inc.ws, inc.sub1, newSub)
 	mat.PutDense(inc.ws, inc.sub1)
 	inc.sub1 = grownSub
-	inc.p = inc.raw.R
+	inc.p = inc.hist.Rows()
 	// The running SVD tracks X = sub1[:, :ns-1].
 	newX := mat.ColSliceWith(inc.ws, newSub, 0, newSub.C-1)
 	inc.isvd.AddRows(newX)

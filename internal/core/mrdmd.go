@@ -86,6 +86,33 @@ type Options struct {
 	// refactor of the kept directions stays float64, and agreement with
 	// the unsharded mixed run is at screening accuracy, 2e-5).
 	Precision string
+	// DriftWindow bounds PartialFit's drift measurement — the comparison
+	// of old vs new level-1 slow reconstructions — to the trailing
+	// DriftWindow level-1 grid columns. Combined with the slow-grid cache
+	// (which already makes the old-side evaluation O(Δ) regardless), this
+	// caps the one remaining O(grid) term of the per-batch pipeline at
+	// O(DriftWindow). The measured drift then reflects recent history
+	// only: recomputation triggers on changes visible inside the window.
+	// 0 (the default) measures over the full grid, bit-identical to prior
+	// releases.
+	DriftWindow int
+	// AmplitudeWindow bounds the level-1 amplitude refit (the Jovanović
+	// normal equations inside every PartialFit) to the trailing
+	// AmplitudeWindow level-1 grid columns — the last O(T) term of the
+	// per-batch cost. Modes that decayed to nothing before the window
+	// opens get amplitude 0 (the window carries no information about
+	// them); persistent modes agree with the full-width fit to roundoff
+	// on stationary signals (test-pinned). 0 (the default) fits the full
+	// grid, bit-identical to prior releases.
+	AmplitudeWindow int
+	// ColdHorizon demotes absorbed raw columns older than this many steps
+	// from float64 to float32 chunk storage, halving resident bytes for
+	// long histories. The trailing ColdHorizon columns always stay exact;
+	// demoted history is widened back on demand (segment recompute,
+	// ReconError, snapshot) carrying one f32 rounding (rel ≤ 2⁻²⁴ per
+	// element). 0 (the default) keeps everything in float64, bit-stable
+	// with prior releases. See DESIGN.md §10.
+	ColdHorizon int
 	// Shards row-partitions the streaming level-1 SVD across this many
 	// shards (internal/shard): each shard owns a contiguous slice of the
 	// sensor rows of U while Σ/V replicate, and every PartialFit update
@@ -123,6 +150,15 @@ func (o Options) Validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("core: Options.Shards must be >= 0, got %d (0 or 1 = unsharded)", o.Shards)
+	}
+	if o.DriftWindow < 0 {
+		return fmt.Errorf("core: Options.DriftWindow must be >= 0, got %d (0 = full grid)", o.DriftWindow)
+	}
+	if o.AmplitudeWindow < 0 {
+		return fmt.Errorf("core: Options.AmplitudeWindow must be >= 0, got %d (0 = full grid)", o.AmplitudeWindow)
+	}
+	if o.ColdHorizon < 0 {
+		return fmt.Errorf("core: Options.ColdHorizon must be >= 0, got %d (0 = no cold tier)", o.ColdHorizon)
 	}
 	switch o.Precision {
 	case "", PrecisionFloat64, PrecisionMixed:

@@ -8,6 +8,7 @@ import (
 	"imrdmd/internal/codec"
 	"imrdmd/internal/compute"
 	"imrdmd/internal/dmd"
+	"imrdmd/internal/mat"
 	"imrdmd/internal/shard"
 	"imrdmd/internal/svd"
 )
@@ -36,7 +37,7 @@ func (inc *Incremental) Snapshot(w io.Writer) error {
 	inc.wg.Wait()
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
-	if inc.raw == nil {
+	if inc.hist == nil {
 		return errors.New("core: Snapshot before InitialFit")
 	}
 	enc := codec.NewWriter(w)
@@ -44,7 +45,15 @@ func (inc *Incremental) Snapshot(w io.Writer) error {
 	enc.Float(inc.DriftThreshold)
 	enc.Bool(inc.AsyncRecompute)
 	enc.Int(inc.p)
-	enc.Dense(inc.raw)
+	// History, tier-structured (format v2): cold f32 chunks then the hot
+	// f64 tail. A v1 stream holds the same columns as one f64 matrix.
+	enc.Int(inc.hist.ChunkCols())
+	cold := inc.hist.ColdChunks()
+	enc.Int(len(cold))
+	for _, ch := range cold {
+		enc.Dense32(ch)
+	}
+	enc.Dense(inc.hist.Hot())
 	enc.Int(inc.stride1)
 	enc.Dense(inc.sub1)
 	enc.Int(inc.nextSample)
@@ -60,7 +69,7 @@ func (inc *Incremental) Snapshot(w io.Writer) error {
 	}
 	enc.Int(inc.updates)
 	enc.Int(inc.recomputes)
-	enc.Floats(inc.driftLog)
+	enc.Floats(inc.driftLogChrono())
 	if inc.coord != nil {
 		enc.Int(isvdSharded)
 		inc.coord.Encode(enc)
@@ -90,7 +99,26 @@ func DecodeIncrementalWith(r io.Reader, eng *compute.Engine) (*Incremental, erro
 	driftThreshold := dec.Float()
 	asyncRecompute := dec.Bool()
 	p := dec.Len()
-	raw := dec.Dense()
+	var hist *mat.TieredCols
+	if dec.Version() >= 2 {
+		chunk := dec.Int()
+		nCold := dec.Len()
+		cold := make([]*mat.Dense32, 0, minCap(nCold, 64))
+		for i := 0; i < nCold && dec.Err() == nil; i++ {
+			cold = append(cold, dec.Dense32())
+		}
+		hot := dec.Dense()
+		if dec.Err() == nil {
+			var terr error
+			hist, terr = mat.TieredFromParts(cold, hot, chunk)
+			if terr != nil {
+				return nil, fmt.Errorf("%w: %v", codec.ErrCorrupt, terr)
+			}
+		}
+	} else if raw := dec.Dense(); raw != nil {
+		// v1: one all-f64 history matrix.
+		hist = mat.NewTieredCols(raw)
+	}
 	stride1 := dec.Int()
 	sub1 := dec.Dense()
 	nextSample := dec.Int()
@@ -108,6 +136,11 @@ func DecodeIncrementalWith(r io.Reader, eng *compute.Engine) (*Incremental, erro
 	updates := dec.Int()
 	recomputes := dec.Int()
 	driftLog := dec.Floats()
+	// v1 streams carry the full unbounded log; keep the trailing window
+	// the ring would have retained.
+	if len(driftLog) > driftLogCap {
+		driftLog = driftLog[len(driftLog)-driftLogCap:]
+	}
 	if err := dec.Err(); err != nil {
 		return nil, err
 	}
@@ -127,7 +160,7 @@ func DecodeIncrementalWith(r io.Reader, eng *compute.Engine) (*Incremental, erro
 		p:              p,
 		eng:            eng,
 		ws:             ws,
-		raw:            raw,
+		hist:           hist,
 		stride1:        stride1,
 		sub1:           sub1,
 		nextSample:     nextSample,
@@ -136,6 +169,7 @@ func DecodeIncrementalWith(r io.Reader, eng *compute.Engine) (*Incremental, erro
 		updates:        updates,
 		recomputes:     recomputes,
 		driftLog:       driftLog,
+		driftPos:       len(driftLog) % driftLogCap,
 	}
 
 	kind := dec.Int()
@@ -172,27 +206,27 @@ func DecodeIncrementalWith(r io.Reader, eng *compute.Engine) (*Incremental, erro
 // assumes, so a corrupt-but-checksum-valid stream (or a format bug) fails
 // at restore time with a clear error instead of panicking mid-update.
 func (inc *Incremental) validateDecoded() error {
-	if inc.raw == nil || inc.sub1 == nil || inc.level1 == nil {
+	if inc.hist == nil || inc.sub1 == nil || inc.level1 == nil {
 		return errors.New("core: decoded snapshot structurally incomplete")
 	}
-	if inc.raw.R != inc.p || inc.sub1.R != inc.p {
+	if inc.hist.Rows() != inc.p || inc.sub1.R != inc.p {
 		return fmt.Errorf("core: decoded row counts inconsistent (p=%d, raw %d, sub1 %d)",
-			inc.p, inc.raw.R, inc.sub1.R)
+			inc.p, inc.hist.Rows(), inc.sub1.R)
 	}
 	if inc.stride1 < 1 {
 		return fmt.Errorf("core: decoded level-1 stride %d invalid", inc.stride1)
 	}
-	if inc.sub1.C < 2 || inc.sub1.C > inc.raw.C {
+	if inc.sub1.C < 2 || inc.sub1.C > inc.hist.Cols() {
 		return fmt.Errorf("core: decoded sample grid (%d columns) inconsistent with %d absorbed columns",
-			inc.sub1.C, inc.raw.C)
+			inc.sub1.C, inc.hist.Cols())
 	}
 	// nextSample is the next level-1 grid index: a stride multiple in
 	// (raw.C - stride1, raw.C + stride1]. Anything else sends PartialFit's
 	// grid loop out of range (negative gather indices) or into a
 	// billion-iteration append — fail here instead.
-	if inc.nextSample%inc.stride1 != 0 || inc.nextSample < inc.raw.C || inc.nextSample > inc.raw.C+inc.stride1 {
+	if t := inc.hist.Cols(); inc.nextSample%inc.stride1 != 0 || inc.nextSample < t || inc.nextSample > t+inc.stride1 {
 		return fmt.Errorf("core: decoded next sample index %d inconsistent with %d columns at stride %d",
-			inc.nextSample, inc.raw.C, inc.stride1)
+			inc.nextSample, t, inc.stride1)
 	}
 	// The level-1 SVD tracks X = sub1[:, :ns-1]: its factors must agree
 	// with the sensor dimension and the grid width, or the next update's
@@ -206,9 +240,9 @@ func (inc *Incremental) validateDecoded() error {
 		return err
 	}
 	for _, seg := range inc.segments {
-		if seg.start < 0 || seg.end > inc.raw.C || seg.end < seg.start {
+		if seg.start < 0 || seg.end > inc.hist.Cols() || seg.end < seg.start {
 			return fmt.Errorf("core: decoded segment window [%d,%d) outside the %d absorbed columns",
-				seg.start, seg.end, inc.raw.C)
+				seg.start, seg.end, inc.hist.Cols())
 		}
 		for _, nd := range seg.nodes {
 			if err := inc.validateDecodedNode(nd); err != nil {
@@ -223,9 +257,9 @@ func (inc *Incremental) validateDecoded() error {
 // spectrum queries index by: the window inside the absorbed history and
 // every mode's spatial vector spanning the sensor dimension.
 func (inc *Incremental) validateDecodedNode(n *Node) error {
-	if n.Start < 0 || n.End > inc.raw.C || n.End < n.Start || n.Stride < 1 {
+	if n.Start < 0 || n.End > inc.hist.Cols() || n.End < n.Start || n.Stride < 1 {
 		return fmt.Errorf("core: decoded node window [%d,%d) stride %d outside the %d absorbed columns",
-			n.Start, n.End, n.Stride, inc.raw.C)
+			n.Start, n.End, n.Stride, inc.hist.Cols())
 	}
 	for i := range n.Modes {
 		if len(n.Modes[i].Phi) != inc.p {
@@ -259,10 +293,13 @@ func encodeOptions(w *codec.Writer, o Options) {
 	w.Int(o.BlockColumns)
 	w.String(o.Precision)
 	w.Int(o.Shards)
+	w.Int(o.DriftWindow)
+	w.Int(o.AmplitudeWindow)
+	w.Int(o.ColdHorizon)
 }
 
 func decodeOptions(r *codec.Reader) Options {
-	return Options{
+	o := Options{
 		DT:            r.Float(),
 		MaxLevels:     r.Int(),
 		MaxCycles:     r.Int(),
@@ -276,6 +313,19 @@ func decodeOptions(r *codec.Reader) Options {
 		Precision:     r.String(),
 		Shards:        r.Int(),
 	}
+	if r.Version() >= 2 {
+		o.DriftWindow = r.Int()
+		o.AmplitudeWindow = r.Int()
+		o.ColdHorizon = r.Int()
+	}
+	return o
+}
+
+func minCap(n, cap int) int {
+	if n < cap {
+		return n
+	}
+	return cap
 }
 
 // encodeNode writes one tree node with its retained modes.

@@ -42,7 +42,7 @@ func TestValidateDecodedInvariants(t *testing.T) {
 		func() { inc.nextSample = -100 },
 		func() { inc.nextSample = ns })
 	mutate("runaway nextSample",
-		func() { inc.nextSample = inc.raw.C + 100*inc.stride1 },
+		func() { inc.nextSample = inc.hist.Cols() + 100*inc.stride1 },
 		func() { inc.nextSample = ns })
 	if inc.stride1 < 2 {
 		t.Fatalf("test premise: want stride > 1, got %d", inc.stride1)
@@ -60,7 +60,7 @@ func TestValidateDecodedInvariants(t *testing.T) {
 		func() { inc.stride1 = st })
 	segs := inc.segments
 	mutate("segment outside history",
-		func() { inc.segments = append(segs, &segment{start: 10, end: inc.raw.C + 50}) },
+		func() { inc.segments = append(segs, &segment{start: 10, end: inc.hist.Cols() + 50}) },
 		func() { inc.segments = segs })
 }
 
@@ -81,7 +81,7 @@ func TestValidateDecodedNodeInvariants(t *testing.T) {
 	}
 
 	end := inc.level1.End
-	inc.level1.End = inc.raw.C + 7
+	inc.level1.End = inc.hist.Cols() + 7
 	if err := inc.validateDecoded(); err == nil {
 		t.Fatal("node window past history accepted")
 	}

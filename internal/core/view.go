@@ -55,16 +55,14 @@ func (inc *Incremental) View() View {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 	var v View
-	if inc.raw == nil {
+	if inc.hist == nil {
 		return v
 	}
-	v.Steps = inc.raw.C
+	v.Steps = inc.hist.Cols()
 	v.Sensors = inc.p
 	v.Updates = inc.updates
 	v.Recomputes = inc.recomputes
-	if n := len(inc.driftLog); n > 0 {
-		v.LastDrift = inc.driftLog[n-1]
-	}
+	v.LastDrift = inc.lastDriftLocked()
 	// Walk the live nodes in Tree order without cloning them — the walk
 	// is read-only and completes before the lock is released.
 	nodes := make([]*Node, 0, 1+len(inc.segments)*4)

@@ -34,6 +34,13 @@ type Options struct {
 	Rank int
 	// UseSVHT truncates at the Gavish–Donoho optimal hard threshold.
 	UseSVHT bool
+	// AmplitudeWindow bounds the Jovanović amplitude fit to the trailing
+	// w snapshot columns: the Vandermonde, both Gram terms and the
+	// snapshot GEMMs shrink from O(T) to O(w) while the eigenvalue powers
+	// stay referenced to t=0, so the fitted b remains a t=0 amplitude.
+	// 0 (the default) fits over the full history — bit-identical to the
+	// pre-windowed pipeline.
+	AmplitudeWindow int
 	// Engine routes the parallel kernel sections; nil uses the shared
 	// default pool.
 	Engine *compute.Engine
@@ -147,7 +154,7 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 	mat.PutCDense(ws, cyvs)
 	mat.PutCDense(ws, vecs)
 
-	b := optimalAmplitudes(e, ws, phi, vals, snapshots)
+	b := optimalAmplitudes(e, ws, phi, vals, snapshots, opts.AmplitudeWindow)
 
 	modes := make([]Mode, 0, len(vals))
 	for j, lam := range vals {
@@ -182,16 +189,33 @@ func FromSVD(s *svd.Result, snapshots *mat.Dense, opts Options) (*Decomposition,
 //
 // with ∘ the Hadamard product; the system matrix is positive
 // semidefinite by the Schur product theorem.
-func optimalAmplitudes(e *compute.Engine, ws *compute.Workspace, phi *mat.CDense, vals []complex128, snapshots *mat.Dense) []complex128 {
+//
+// win > 0 restricts the fit to the trailing win snapshot columns
+// [t−win, t): the Vandermonde keeps its absolute powers λᵏ (so b stays a
+// t=0 amplitude) but only the windowed columns enter V, G2 and the
+// snapshot contraction, turning the per-refresh cost from O(T) to O(win).
+// win ≤ 0 or win ≥ t fits the full history, bit-identical to the
+// unwindowed code path.
+func optimalAmplitudes(e *compute.Engine, ws *compute.Workspace, phi *mat.CDense, vals []complex128, snapshots *mat.Dense, win int) []complex128 {
 	p, t := snapshots.Dims()
 	r := len(vals)
-	// Vandermonde V (r×t): powers of the discrete eigenvalues, with a
-	// magnitude clamp so explosive spurious eigenvalues cannot overflow.
-	vand := mat.GetCDense(ws, r, t)
+	k0 := 0
+	if win > 0 && win < t {
+		k0 = t - win
+	}
+	tw := t - k0
+	// Vandermonde V (r×tw): powers λᵏ for k in [k0, t) of the discrete
+	// eigenvalues. The power recurrence always starts at k=0 with its
+	// magnitude clamp (so explosive spurious eigenvalues cannot overflow
+	// and the windowed trajectory matches the full one bit for bit); only
+	// the windowed columns are stored.
+	vand := mat.GetCDense(ws, r, tw)
 	for i, lam := range vals {
 		w := complex(1, 0)
 		for k := 0; k < t; k++ {
-			vand.Set(i, k, w)
+			if k >= k0 {
+				vand.Set(i, k-k0, w)
+			}
 			w *= lam
 			if a := real(w)*real(w) + imag(w)*imag(w); a > 1e300 {
 				w = w / complex(math.Sqrt(a), 0) * complex(1e150, 0)
@@ -213,7 +237,7 @@ func optimalAmplitudes(e *compute.Engine, ws *compute.Workspace, phi *mat.CDense
 	for i := 0; i < r; i++ {
 		for j := 0; j < r; j++ {
 			var s complex128
-			for k := 0; k < t; k++ {
+			for k := 0; k < tw; k++ {
 				s += vand.At(i, k) * cmplx.Conj(vand.At(j, k))
 			}
 			g2.Set(i, j, s)
@@ -240,15 +264,16 @@ func optimalAmplitudes(e *compute.Engine, ws *compute.Workspace, phi *mat.CDense
 			imRow[j] = imag(v)
 		}
 	}
-	xphiRe := mat.MulTWith(e, ws, snapshots, phiRe) // t×r
-	xphiIm := mat.MulTWith(e, ws, snapshots, phiIm) // t×r
+	snapWin := mat.ColsView(snapshots, k0, t)     // p×tw, zero-copy
+	xphiRe := mat.MulTWith(e, ws, snapWin, phiRe) // tw×r
+	xphiIm := mat.MulTWith(e, ws, snapWin, phiIm) // tw×r
 	mat.PutDense(ws, phiRe)
 	mat.PutDense(ws, phiIm)
 	q := make([]complex128, r)
 	for i := 0; i < r; i++ {
 		// (V Xᴴ Φ)[i,i] = Σ_k V[i,k] · (XᵀΦ)[k,i]
 		var s complex128
-		for k := 0; k < t; k++ {
+		for k := 0; k < tw; k++ {
 			s += vand.At(i, k) * complex(xphiRe.At(k, i), xphiIm.At(k, i))
 		}
 		q[i] = cmplx.Conj(s)
@@ -265,6 +290,35 @@ func optimalAmplitudes(e *compute.Engine, ws *compute.Workspace, phi *mat.CDense
 		sys.Set(i, i, sys.At(i, i)+jitter)
 	}
 	b := mat.CLUFactorInPlace(sys).Solve(q) // consumes sys's storage
+	if k0 > 0 {
+		// A mode that has decayed away before the window opens leaves
+		// (almost) no mass in V's row: its normal-equation row is tiny and
+		// the solve returns noise scaled by 1/λᵏ⁰ — an estimate that blows
+		// up any reconstruction at early times (a mode with 3% of its
+		// envelope left amplifies the fit noise ~30×). Below the mass
+		// floor, the window simply carries too little signal to reference
+		// the mode back to t=0, and reporting it absent is strictly more
+		// accurate than reporting the amplified noise.
+		var maxScale float64
+		scales := make([]float64, r)
+		for i := 0; i < r; i++ {
+			var s float64
+			for k := 0; k < tw; k++ {
+				if a := cmplx.Abs(vand.At(i, k)); a > s {
+					s = a
+				}
+			}
+			scales[i] = s
+			if s > maxScale {
+				maxScale = s
+			}
+		}
+		for i := 0; i < r; i++ {
+			if scales[i] <= ampWindowMassFloor*maxScale {
+				b[i] = 0
+			}
+		}
+	}
 	mat.PutCDense(ws, vand)
 	mat.PutCDense(ws, g1)
 	mat.PutCDense(ws, g2)
@@ -305,10 +359,28 @@ func ReconstructModesInto(out *mat.Dense, modes []Mode, times []float64) {
 	ReconstructModesIntoWith(nil, nil, out, modes, times)
 }
 
+// ampWindowMassFloor is the windowed amplitude fit's relative mass floor:
+// a mode whose |λᵏ| envelope over the fit window peaks below this fraction
+// of the dominant mode's is reported with amplitude 0. The floor caps the
+// 1/λᵏ⁰ noise amplification of referencing trailing-window information
+// back to t=0 at ~1/floor; modes above it keep their (documented, at worst
+// floor⁻¹-noise-amplified) estimates.
+const ampWindowMassFloor = 0.05
+
 // reconGemmMin is the r·t·p volume above which reconstruction goes
 // through the GEMM form instead of the scalar triple loop: below it the
 // plane setup costs more than the loop saves.
 const reconGemmMin = 4096
+
+// ReconGemmForm reports which evaluation form ReconstructModesIntoWith
+// would pick for a p×t reconstruction of r modes: true for the two-GEMM
+// plane form, false for the scalar triple loop. The two forms agree only
+// to roundoff, so callers that evaluate a span incrementally (the O(Δ)
+// slow-grid cache) must pin the form the full-width evaluation would use
+// — per-column results are then bit-identical regardless of how the span
+// was partitioned, because both forms accumulate each output column
+// independently and in the same order.
+func ReconGemmForm(p, t, r int) bool { return r*t*p >= reconGemmMin }
 
 // ReconstructModesIntoWith is ReconstructModesInto with the evaluation
 // GEMMs routed through engine e and scratch borrowed from ws (both may be
@@ -317,11 +389,20 @@ const reconGemmMin = 4096
 // real, so the planes never mix — which lands on the tall-skinny kernel
 // tier for the streaming residual shapes (p×r times r×t with r small).
 func ReconstructModesIntoWith(e *compute.Engine, ws *compute.Workspace, out *mat.Dense, modes []Mode, times []float64) {
+	ReconstructModesIntoFormWith(e, ws, out, modes, times,
+		ReconGemmForm(out.R, len(times), len(modes)))
+}
+
+// ReconstructModesIntoFormWith is ReconstructModesIntoWith with the
+// evaluation form pinned by the caller instead of derived from the output
+// volume — the contract the incremental slow-grid extension relies on to
+// stay bit-identical to a from-scratch full-width evaluation.
+func ReconstructModesIntoFormWith(e *compute.Engine, ws *compute.Workspace, out *mat.Dense, modes []Mode, times []float64, gemm bool) {
 	if out.C != len(times) {
 		panic("dmd: ReconstructModesInto shape mismatch")
 	}
-	p, t, r := out.R, len(times), len(modes)
-	if r*t*p >= reconGemmMin {
+	p, t := out.R, len(times)
+	if gemm && len(modes) > 0 && t > 0 && p > 0 {
 		reconstructGemm(e, ws, out, modes, times)
 		return
 	}

@@ -1,0 +1,239 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imrdmd/internal/compute"
+)
+
+// refTiered mirrors a TieredCols as a plain f64 matrix plus the expected
+// per-column fidelity: columns < coldCols should read back as
+// float64(float32(x)) exactly, hot columns as x exactly.
+func tieredRef(t *testing.T, tc *TieredCols, full *Dense) {
+	t.Helper()
+	if tc.Rows() != full.R || tc.Cols() != full.C {
+		t.Fatalf("shape: tiered %dx%d vs ref %dx%d", tc.Rows(), tc.Cols(), full.R, full.C)
+	}
+	cc := tc.ColdCols()
+	for i := 0; i < full.R; i++ {
+		for j := 0; j < full.C; j++ {
+			want := full.At(i, j)
+			if j < cc {
+				// The cold tier stores exactly one f32 rounding of the
+				// original value — not an approximation with a tolerance.
+				want = float64(float32(want))
+			}
+			if got := tc.At(i, j); got != want {
+				t.Fatalf("At(%d,%d) = %v, want %v (coldCols=%d)", i, j, got, want, cc)
+			}
+		}
+	}
+}
+
+func TestTieredGrowDemoteRoundTrip(t *testing.T) {
+	ws := compute.NewWorkspace()
+	rng := rand.New(rand.NewSource(9))
+	const p = 7
+	full := randDense(rng, p, 0)
+	tc := NewTieredCols(NewDense(p, 0))
+
+	for step := 0; step < 12; step++ {
+		b := randDense(rng, p, 97)
+		full = HStack(full, b)
+		tc.Grow(ws, b)
+		if step%3 == 2 {
+			horizon := 150
+			before := tc.Hot().C
+			moved := tc.Demote(horizon)
+			if moved%tc.ChunkCols() != 0 {
+				t.Fatalf("demoted %d cols, not a chunk multiple", moved)
+			}
+			if got := tc.Hot().C; got != before-moved {
+				t.Fatalf("hot width %d after demote, want %d", got, before-moved)
+			}
+			if tc.Hot().C < horizon && moved > 0 {
+				t.Fatalf("demote ate into the horizon: hot=%d < %d", tc.Hot().C, horizon)
+			}
+		}
+		tieredRef(t, tc, full)
+	}
+	if tc.ColdCols() == 0 {
+		t.Fatal("test never exercised the cold tier")
+	}
+
+	// Promote widens cold values exactly: float64(float32(x)), and the
+	// round-trip error is bounded by half-ULP relative error of f32.
+	pm := tc.Promote()
+	for i := 0; i < p; i++ {
+		for j := 0; j < full.C; j++ {
+			orig := full.At(i, j)
+			got := pm.At(i, j)
+			if j < tc.ColdCols() {
+				if got != float64(float32(orig)) {
+					t.Fatalf("promote (%d,%d): %v != float64(float32(%v))", i, j, got, orig)
+				}
+				if rel := math.Abs(got-orig) / math.Abs(orig); rel > 1.0/(1<<24) {
+					t.Fatalf("promote (%d,%d): rel err %g exceeds f32 half-ULP bound", i, j, rel)
+				}
+			} else if got != orig {
+				t.Fatalf("promote hot (%d,%d): %v != %v", i, j, got, orig)
+			}
+		}
+	}
+}
+
+func TestTieredWindowAndGather(t *testing.T) {
+	ws := compute.NewWorkspace()
+	rng := rand.New(rand.NewSource(11))
+	const p, total = 5, 700
+	full := randDense(rng, p, total)
+	tc := NewTieredCols(NewDense(p, 0))
+	tc.Grow(ws, full)
+	tc.Demote(100) // 2 chunks cold (512), 188 hot
+
+	if tc.ColdCols() != 2*TieredChunkCols {
+		t.Fatalf("coldCols = %d, want %d", tc.ColdCols(), 2*TieredChunkCols)
+	}
+
+	spans := [][2]int{{0, total}, {0, 100}, {200, 300}, {500, 700}, {512, 700}, {600, 600}}
+	for _, sp := range spans {
+		lo, hi := sp[0], sp[1]
+		w := tc.Window(ws, lo, hi)
+		cw := tc.CopyWindow(ws, lo, hi)
+		if w.R != p || w.C != hi-lo || cw.R != p || cw.C != hi-lo {
+			t.Fatalf("window [%d,%d) wrong shape", lo, hi)
+		}
+		for i := 0; i < p; i++ {
+			for j := lo; j < hi; j++ {
+				want := tc.At(i, j)
+				if got := w.At(i, j-lo); got != want {
+					t.Fatalf("Window(%d,%d) at (%d,%d): %v != %v", lo, hi, i, j, got, want)
+				}
+				if got := cw.At(i, j-lo); got != want {
+					t.Fatalf("CopyWindow(%d,%d) at (%d,%d): %v != %v", lo, hi, i, j, got, want)
+				}
+			}
+		}
+		PutDense(ws, cw)
+		PutDense(ws, w)
+	}
+
+	idxs := []int{0, 3, 255, 256, 511, 512, 513, 699}
+	g := tc.GatherCols(ws, idxs)
+	for i := 0; i < p; i++ {
+		for k, j := range idxs {
+			if got, want := g.At(i, k), tc.At(i, j); got != want {
+				t.Fatalf("gather (%d, idx %d): %v != %v", i, j, got, want)
+			}
+		}
+	}
+	PutDense(ws, g)
+
+	hotIdxs := []int{515, 600, 699}
+	hg := tc.GatherCols(ws, hotIdxs)
+	for i := 0; i < p; i++ {
+		for k, j := range hotIdxs {
+			if got, want := hg.At(i, k), full.At(i, j); got != want {
+				t.Fatalf("hot gather (%d, idx %d): %v != %v", i, j, got, want)
+			}
+		}
+	}
+	PutDense(ws, hg)
+}
+
+// TestTieredDemotePackedHot: demoting straight off a tightly packed hot
+// matrix (Stride == 0, as NewTieredCols receives from a Clone) must pin
+// the physical row stride before shrinking C — the in-place shift is
+// relative to row offsets that would otherwise re-base mid-demote.
+func TestTieredDemotePackedHot(t *testing.T) {
+	ws := compute.NewWorkspace()
+	rng := rand.New(rand.NewSource(19))
+	const p, total = 6, 650
+	full := randDense(rng, p, total)
+	tc := NewTieredCols(full.Clone()) // packed, never grown
+	if moved := tc.Demote(100); moved != 2*TieredChunkCols {
+		t.Fatalf("demoted %d cols, want %d", moved, 2*TieredChunkCols)
+	}
+	tieredRef(t, tc, full)
+
+	// The vacated columns are capacity slack: growth reuses them in place.
+	b := randDense(rng, p, 30)
+	tc.Grow(ws, b)
+	tieredRef(t, tc, HStack(full, b))
+}
+
+func TestTieredAddRows(t *testing.T) {
+	ws := compute.NewWorkspace()
+	rng := rand.New(rand.NewSource(13))
+	const p, total, extra = 4, 600, 3
+	full := randDense(rng, p, total)
+	tc := NewTieredCols(NewDense(p, 0))
+	tc.Grow(ws, full)
+	tc.Demote(64) // 2 chunks cold
+
+	newRows := randDense(rng, extra, total)
+	tc.AddRows(ws, newRows)
+	if tc.Rows() != p+extra {
+		t.Fatalf("rows = %d, want %d", tc.Rows(), p+extra)
+	}
+	grown := VStack(full, newRows)
+	tieredRef(t, tc, grown)
+
+	// Growth after AddRows keeps both tiers consistent.
+	b := randDense(rng, p+extra, 40)
+	tc.Grow(ws, b)
+	tieredRef(t, tc, HStack(grown, b))
+}
+
+func TestTieredFromPartsValidation(t *testing.T) {
+	hot := NewDense(3, 10)
+	good := []*Dense32{NewDense32(3, 4), NewDense32(3, 4)}
+	tc, err := TieredFromParts(good, hot, 4)
+	if err != nil || tc.Cols() != 18 || tc.ColdCols() != 8 {
+		t.Fatalf("valid parts rejected: %v (tc=%+v)", err, tc)
+	}
+	if _, err := TieredFromParts([]*Dense32{NewDense32(2, 4)}, hot, 4); err == nil {
+		t.Fatal("row-mismatched cold chunk accepted")
+	}
+	if _, err := TieredFromParts([]*Dense32{NewDense32(3, 5)}, hot, 4); err == nil {
+		t.Fatal("width-mismatched cold chunk accepted")
+	}
+	if _, err := TieredFromParts(nil, nil, 4); err == nil {
+		t.Fatal("nil hot tier accepted")
+	}
+	if _, err := TieredFromParts(nil, hot, 0); err == nil {
+		t.Fatal("zero chunk width accepted")
+	}
+}
+
+func TestNarrowWiden(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := randDense(rng, 6, 9)
+	n := Narrow(m)
+	w := Widen(n)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if got, want := w.At(i, j), float64(float32(m.At(i, j))); got != want {
+				t.Fatalf("narrow/widen (%d,%d): %v != %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestTieredBytes(t *testing.T) {
+	ws := compute.NewWorkspace()
+	tc := NewTieredCols(NewDense(8, 0))
+	tc.Grow(ws, NewDense(8, 600))
+	tc.Demote(0) // both full chunks demote, 88 hot remain
+	if tc.ColdCols() != 512 {
+		t.Fatalf("coldCols = %d, want 512", tc.ColdCols())
+	}
+	if got, want := tc.ColdBytes(), int64(8*512*4); got != want {
+		t.Fatalf("ColdBytes = %d, want %d", got, want)
+	}
+	if tc.HotBytes() < int64(8*88*8) {
+		t.Fatalf("HotBytes = %d too small for 8x88 f64", tc.HotBytes())
+	}
+}

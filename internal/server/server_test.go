@@ -184,6 +184,54 @@ func TestServerTenantLifecycle(t *testing.T) {
 	c.must("GET", "/v1/tenants/theta/stats", "", nil, http.StatusNotFound)
 }
 
+// TestServerColdTierStats: a tenant created with the flat-horizon knobs
+// demotes old history to the f32 tier, reports the tiered footprint in
+// /stats, and carries the knobs (and the cold tier) across
+// snapshot → restore.
+func TestServerColdTierStats(t *testing.T) {
+	data := bench.SCLogData(48, 1536, 3)
+	s := New(Config{Workers: 4, DefaultInitialCols: 512})
+	c := newTestClient(t, s)
+
+	opts := []byte(`{"dt":20,"max_levels":3,"max_cycles":2,"use_svht":true,"block_columns":8,` +
+		`"cold_horizon":256,"drift_window":8,"amplitude_window":16}`)
+	c.must("POST", "/v1/tenants/flat", "application/json", opts, http.StatusCreated)
+	for lo := 0; lo < 1280; lo += 256 {
+		c.must("POST", "/v1/tenants/flat/ingest", "text/csv", csvBody(t, data, lo, lo+256), http.StatusOK)
+	}
+
+	var st TenantStatus
+	if err := json.Unmarshal(c.must("GET", "/v1/tenants/flat/stats", "", nil, http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Options.ColdHorizon != 256 || st.Options.DriftWindow != 8 || st.Options.AmplitudeWindow != 16 {
+		t.Fatalf("options lost the flat-horizon knobs: %+v", st.Options)
+	}
+	if st.ResidentBytes <= 0 {
+		t.Fatalf("resident_bytes not reported: %d", st.ResidentBytes)
+	}
+	if st.RawColdCols == 0 {
+		t.Fatal("raw_cold_cols = 0: cold tier never engaged")
+	}
+	// Cold storage halves those columns: resident must undercut all-f64.
+	if allF64 := int64(48 * st.Steps * 8); st.ResidentBytes >= allF64 {
+		t.Fatalf("resident_bytes %d not below the all-f64 footprint %d", st.ResidentBytes, allF64)
+	}
+
+	snap := c.must("GET", "/v1/tenants/flat/snapshot", "", nil, http.StatusOK)
+	s2 := New(Config{Workers: 4, DefaultInitialCols: 512})
+	c2 := newTestClient(t, s2)
+	c2.must("PUT", "/v1/tenants/flat", "application/octet-stream", snap, http.StatusCreated)
+	c2.must("POST", "/v1/tenants/flat/ingest", "text/csv", csvBody(t, data, 1280, 1536), http.StatusOK)
+	var rst TenantStatus
+	if err := json.Unmarshal(c2.must("GET", "/v1/tenants/flat/stats", "", nil, http.StatusOK), &rst); err != nil {
+		t.Fatal(err)
+	}
+	if rst.Options.ColdHorizon != 256 || rst.Steps != 1536 || rst.RawColdCols == 0 {
+		t.Fatalf("restored tenant lost tiering: %+v", rst)
+	}
+}
+
 // TestServerRejects pins the client-error surface: bad options, duplicate
 // ids, unknown tenants, malformed and non-finite ingest bodies, and the
 // tenant cap.

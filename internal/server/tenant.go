@@ -35,6 +35,12 @@ type TenantOptions struct {
 	Shards         int     `json:"shards,omitempty"`
 	DriftThreshold float64 `json:"drift_threshold,omitempty"`
 	AsyncRecompute bool    `json:"async_recompute,omitempty"`
+	// DriftWindow / AmplitudeWindow / ColdHorizon are the flat-horizon
+	// knobs (PR 9): bounded drift measurement, bounded amplitude refit,
+	// and f32 demotion of raw history older than the horizon.
+	DriftWindow     int `json:"drift_window,omitempty"`
+	AmplitudeWindow int `json:"amplitude_window,omitempty"`
+	ColdHorizon     int `json:"cold_horizon,omitempty"`
 	// InitialCols is how many columns seed InitialFit before streaming
 	// begins (0 uses the server default). Must be at least 2.
 	InitialCols int `json:"initial_cols,omitempty"`
@@ -44,18 +50,21 @@ type TenantOptions struct {
 // the engine to the server's shared pool.
 func (o TenantOptions) toCore(eng *compute.Engine) core.Options {
 	return core.Options{
-		DT:            o.DT,
-		MaxLevels:     o.MaxLevels,
-		MaxCycles:     o.MaxCycles,
-		NyquistFactor: o.NyquistFactor,
-		Rank:          o.Rank,
-		UseSVHT:       o.UseSVHT,
-		MinWindow:     o.MinWindow,
-		Parallel:      o.Parallel,
-		BlockColumns:  o.BlockColumns,
-		Precision:     o.Precision,
-		Shards:        o.Shards,
-		Engine:        eng,
+		DT:              o.DT,
+		MaxLevels:       o.MaxLevels,
+		MaxCycles:       o.MaxCycles,
+		NyquistFactor:   o.NyquistFactor,
+		Rank:            o.Rank,
+		UseSVHT:         o.UseSVHT,
+		MinWindow:       o.MinWindow,
+		Parallel:        o.Parallel,
+		BlockColumns:    o.BlockColumns,
+		Precision:       o.Precision,
+		Shards:          o.Shards,
+		DriftWindow:     o.DriftWindow,
+		AmplitudeWindow: o.AmplitudeWindow,
+		ColdHorizon:     o.ColdHorizon,
+		Engine:          eng,
 	}
 }
 
@@ -131,20 +140,23 @@ func restoreTenant(id string, r io.Reader, eng *compute.Engine) (*tenant, error)
 	}
 	copts := inc.Options()
 	opts := TenantOptions{
-		DT:             copts.DT,
-		MaxLevels:      copts.MaxLevels,
-		MaxCycles:      copts.MaxCycles,
-		NyquistFactor:  copts.NyquistFactor,
-		Rank:           copts.Rank,
-		UseSVHT:        copts.UseSVHT,
-		MinWindow:      copts.MinWindow,
-		Parallel:       copts.Parallel,
-		BlockColumns:   copts.BlockColumns,
-		Precision:      copts.Precision,
-		Shards:         copts.Shards,
-		DriftThreshold: inc.DriftThreshold,
-		AsyncRecompute: inc.AsyncRecompute,
-		InitialCols:    inc.Cols(),
+		DT:              copts.DT,
+		MaxLevels:       copts.MaxLevels,
+		MaxCycles:       copts.MaxCycles,
+		NyquistFactor:   copts.NyquistFactor,
+		Rank:            copts.Rank,
+		UseSVHT:         copts.UseSVHT,
+		MinWindow:       copts.MinWindow,
+		Parallel:        copts.Parallel,
+		BlockColumns:    copts.BlockColumns,
+		Precision:       copts.Precision,
+		Shards:          copts.Shards,
+		DriftWindow:     copts.DriftWindow,
+		AmplitudeWindow: copts.AmplitudeWindow,
+		ColdHorizon:     copts.ColdHorizon,
+		DriftThreshold:  inc.DriftThreshold,
+		AsyncRecompute:  inc.AsyncRecompute,
+		InitialCols:     inc.Cols(),
 	}
 	t := &tenant{id: id, created: time.Now(), opts: opts, inc: inc, feeder: stream.ResumeFeeder(inc)}
 	t.mu.Lock()
@@ -270,6 +282,11 @@ type TenantStatus struct {
 	Batches int     `json:"batches"`
 	P50Ms   float64 `json:"ingest_p50_ms"`
 	P99Ms   float64 `json:"ingest_p99_ms"`
+	// ResidentBytes is the tenant's resident raw-history footprint across
+	// both storage tiers; RawColdCols counts the columns demoted to the
+	// f32 cold tier (0 unless cold_horizon is set).
+	ResidentBytes int64 `json:"resident_bytes"`
+	RawColdCols   int   `json:"raw_cold_cols"`
 
 	Options TenantOptions `json:"options"`
 	// Shard carries the level-1 transport accounting when the tenant runs
@@ -298,6 +315,9 @@ func (t *tenant) statusLocked() TenantStatus {
 		P99Ms:   float64(p99) / float64(time.Millisecond),
 		Options: t.opts,
 	}
+	ms := t.inc.MemStats()
+	st.ResidentBytes = ms.HotBytes + ms.ColdBytes
+	st.RawColdCols = ms.ColdCols
 	if ss, ok := t.inc.ShardStats(); ok {
 		st.Shard = &ss
 	}
