@@ -1,0 +1,113 @@
+// Command imrdmd-vet is the repo's invariant-enforcing analyzer suite —
+// five custom static analyses over contracts earlier PRs established
+// (see DESIGN.md §11):
+//
+//	wspair       pooled workspace Get*/Put* pairing on all return paths
+//	lockio       no marshaling / client I/O under tenant or registry locks
+//	cowpublish   PublishedResult immutable after the atomic swap
+//	detorder     kernel packages stay deterministic (no map-order or clock)
+//	codecbounds  request-derived bytes decode via internal/codec only
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/imrdmd-vet ./...   # cmd/go drives it (CI)
+//	imrdmd-vet ./...                              # standalone, same findings
+//
+// Exit status: 0 clean, 1 tool failure, 2 findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"imrdmd/internal/analysis"
+	"imrdmd/internal/analysis/codecbounds"
+	"imrdmd/internal/analysis/cowpublish"
+	"imrdmd/internal/analysis/detorder"
+	"imrdmd/internal/analysis/lockio"
+	"imrdmd/internal/analysis/wspair"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	all := []*analysis.Analyzer{
+		codecbounds.Analyzer,
+		cowpublish.Analyzer,
+		detorder.Analyzer,
+		lockio.Analyzer,
+		wspair.Analyzer,
+	}
+
+	fs := flag.NewFlagSet("imrdmd-vet", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the supported flags as JSON and exit")
+	jsonFlag := fs.Bool("json", false, "emit JSON output")
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i > 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		analysis.PrintVersion(os.Stdout)
+		return 0
+	case *flagsFlag:
+		analysis.PrintFlags(os.Stdout, all)
+		return 0
+	}
+
+	// Vet convention: naming any analyzer flag explicitly selects that
+	// subset; naming none runs everything.
+	selected := all[:0:0]
+	for _, a := range all {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = all
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return analysis.RunUnitchecker(args[0], selected, *jsonFlag, os.Stdout, os.Stderr)
+	}
+
+	// Standalone mode over package patterns.
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	units, err := analysis.LoadPackages(".", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imrdmd-vet: %v\n", err)
+		return 1
+	}
+	found := false
+	for _, u := range units {
+		diags, err := analysis.Run(u, selected)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imrdmd-vet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Posn, d.Message, d.Analyzer)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,307 @@
+// Package analysis is the in-tree static-analysis framework behind
+// cmd/imrdmd-vet: a deliberately small, dependency-free re-implementation
+// of the golang.org/x/tools/go/analysis surface (Analyzer, Pass,
+// Diagnostic) plus the repo's directive and scoping conventions. The
+// toolchain in this repo builds offline with no module dependencies, so
+// the framework is standard-library only; the driver (load.go, unit.go)
+// speaks both a standalone `imrdmd-vet ./...` mode and the cmd/go
+// `go vet -vettool=` unitchecker protocol.
+//
+// The suite exists to machine-check contracts earlier PRs established in
+// prose: pooled workspaces are always returned (wspair), the tenant lock
+// never covers marshaling or client I/O (lockio), published results are
+// immutable after the atomic swap (cowpublish), kernel packages stay
+// deterministic (detorder), and request-derived bytes are only decoded
+// through internal/codec's bounds-checked primitives (codecbounds).
+// DESIGN.md §11 documents each contract and the PR that created it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// type-checked package (a Pass) and reports diagnostics through it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable flags,
+	// and //imrdmd:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract statement shown by -help.
+	Doc string
+	// Run performs the check. A returned error aborts the whole vet run
+	// (it means the analyzer itself is broken, not that the code under
+	// analysis is); findings go through Pass.Reportf instead.
+	Run func(*Pass) error
+}
+
+// KnownAnalyzerNames is the canonical name set the //imrdmd:allow
+// directive validator accepts. Kept here (as strings) so the framework
+// can validate directives without importing the analyzer packages.
+var KnownAnalyzerNames = []string{"codecbounds", "cowpublish", "detorder", "lockio", "wspair"}
+
+func knownAnalyzer(name string) bool {
+	for _, n := range KnownAnalyzerNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// A Unit is one type-checked package ready for analysis — the common
+// currency of the standalone loader, the unitchecker driver, and the
+// analysistest harness.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Pass carries one (analyzer, unit) pairing through Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Posn:     p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Posn     token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Posn, d.Message, d.Analyzer)
+}
+
+// allowDirective is one parsed //imrdmd:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	posn     token.Position
+}
+
+// directiveRe matches `//imrdmd:allow <name> -- <reason>`. The reason is
+// mandatory: an exception without a recorded justification is itself a
+// diagnostic, so every suppression in the tree stays auditable.
+var directiveRe = regexp.MustCompile(`^//imrdmd:allow\s+([a-z0-9]+)\s*(?:--\s*(.*))?$`)
+
+// parseDirectives scans a file's comments for //imrdmd:allow lines,
+// returning the well-formed directives and reporting malformed ones
+// (missing reason, unknown analyzer name) as diagnostics.
+func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if !strings.HasPrefix(text, "//imrdmd:") {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			m := directiveRe.FindStringSubmatch(text)
+			if m == nil {
+				report(Diagnostic{Analyzer: "directive", Pos: c.Pos(), Posn: posn,
+					Message: "malformed //imrdmd: directive (want `//imrdmd:allow <analyzer> -- <reason>`)"})
+				continue
+			}
+			name, reason := m[1], strings.TrimSpace(m[2])
+			if !knownAnalyzer(name) {
+				report(Diagnostic{Analyzer: "directive", Pos: c.Pos(), Posn: posn,
+					Message: fmt.Sprintf("//imrdmd:allow names unknown analyzer %q", name)})
+				continue
+			}
+			if reason == "" {
+				report(Diagnostic{Analyzer: "directive", Pos: c.Pos(), Posn: posn,
+					Message: fmt.Sprintf("//imrdmd:allow %s requires a reason (`-- <why this exception is sound>`)", name)})
+				continue
+			}
+			out = append(out, allowDirective{analyzer: name, reason: reason, posn: posn})
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over one unit and returns the surviving
+// diagnostics, sorted by position. Three framework-level policies apply
+// uniformly:
+//
+//   - *_test.go findings are dropped: the contracts govern production
+//     code, and tests exercise violations on purpose (analysistest's
+//     golden corpora, lock-order tests, …).
+//   - an `//imrdmd:allow <name> -- reason` directive on the finding's
+//     line, or on the line directly above it, suppresses that analyzer's
+//     findings there; malformed or unknown-name directives are reported.
+//   - diagnostics are deduplicated by (analyzer, position, message) so
+//     an expansion that reaches the same sink twice reports once.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: u.Fset, Files: u.Files, Pkg: u.Pkg, Info: u.Info, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	// Directive collection (and validation) is per-file, once per unit.
+	type allowKey struct {
+		file string
+		line int
+		name string
+	}
+	allowed := make(map[allowKey]bool)
+	var directiveDiags []Diagnostic
+	for _, f := range u.Files {
+		ds := parseDirectives(u.Fset, f, func(d Diagnostic) { directiveDiags = append(directiveDiags, d) })
+		for _, d := range ds {
+			// The directive covers its own line and the next one, so it
+			// works both as a trailing comment and on the line above.
+			allowed[allowKey{d.posn.Filename, d.posn.Line, d.analyzer}] = true
+			allowed[allowKey{d.posn.Filename, d.posn.Line + 1, d.analyzer}] = true
+		}
+	}
+	diags = append(diags, directiveDiags...)
+
+	seen := make(map[string]bool)
+	out := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(d.Posn.Filename, "_test.go") {
+			continue
+		}
+		if allowed[allowKey{d.Posn.Filename, d.Posn.Line, d.Analyzer}] {
+			continue
+		}
+		key := fmt.Sprintf("%s\x00%s\x00%s", d.Analyzer, d.Posn, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Posn, out[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ---- shared type/AST helpers used by the analyzer suite ----
+
+// Deref unwraps pointer types.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type behind t (through pointers and
+// aliases), or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = Deref(types.Unalias(t))
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (through pointers) is the named type
+// pkgName.typeName. Matching is by package *name* rather than full
+// import path so the analysistest corpora can stub repo packages
+// (testdata/src/compute, testdata/src/server, …) with the same shapes
+// the real tree has.
+func IsNamed(t types.Type, pkgName, typeName string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == typeName
+}
+
+// CalleeFunc resolves the *types.Func a call invokes: plain functions,
+// methods (incl. interface methods), and generic instantiations. Returns
+// nil for calls through function-typed variables, conversions, and
+// builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Strip explicit instantiation: F[T](...) / F[T1, T2](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	default:
+		return nil
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// FuncPkgPath returns the import path of the package a function belongs
+// to ("" for builtins or unresolved callees).
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// PkgPathBase returns the last element of an import path — the unit the
+// analyzers' package scoping rules key on, so `internal/mat` and a
+// testdata stub loaded as plain `mat` scope identically.
+func PkgPathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// RecvNamed returns the named receiver type of a method (through
+// pointers), or nil for plain functions.
+func RecvNamed(f *types.Func) *types.Named {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	return NamedOf(sig.Recv().Type())
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one import-free source file into a Unit.
+func checkSource(t *testing.T, filename, src string) *Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := CheckParsed("p", fset, []*ast.File{f}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// reportEveryFunc flags every function declaration — enough surface to
+// exercise the framework's filtering.
+var reportEveryFunc = &Analyzer{
+	Name: "wspair", // a known name, so //imrdmd:allow wspair applies
+	Doc:  "test analyzer: reports every FuncDecl",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func messages(ds []Diagnostic) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	u := checkSource(t, "x.go", `package p
+
+func plain() {}
+
+//imrdmd:allow wspair -- justified exception for the test
+func excused() {}
+`)
+	ds, err := Run(u, []*Analyzer{reportEveryFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messages(ds)
+	if len(got) != 1 || !strings.Contains(got[0], "func plain flagged") {
+		t.Fatalf("want exactly the un-excused finding, got %q", got)
+	}
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	u := checkSource(t, "x.go", `package p
+
+//imrdmd:allow wspair
+func missingReason() {}
+
+//imrdmd:allow nosuchanalyzer -- the name is wrong
+func unknownName() {}
+`)
+	ds, err := Run(u, []*Analyzer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasonless, unknown bool
+	for _, d := range ds {
+		if d.Analyzer != "directive" {
+			t.Errorf("directive findings must carry the directive analyzer name, got %q", d.Analyzer)
+		}
+		if strings.Contains(d.Message, "reason") {
+			reasonless = true
+		}
+		if strings.Contains(d.Message, "nosuchanalyzer") {
+			unknown = true
+		}
+	}
+	if !reasonless || !unknown {
+		t.Fatalf("want a reasonless-directive and an unknown-name finding, got %q", messages(ds))
+	}
+	// A reasonless directive must NOT suppress: exceptions stay auditable.
+	ds, err = Run(u, []*Analyzer{reportEveryFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stillFlagged bool
+	for _, d := range ds {
+		if strings.Contains(d.Message, "func missingReason flagged") {
+			stillFlagged = true
+		}
+	}
+	if !stillFlagged {
+		t.Fatalf("reasonless directive suppressed a finding; got %q", messages(ds))
+	}
+}
+
+func TestTestFileFindingsDropped(t *testing.T) {
+	u := checkSource(t, "x_test.go", `package p
+
+func helper() {}
+`)
+	ds, err := Run(u, []*Analyzer{reportEveryFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("findings in _test.go files must be dropped, got %q", messages(ds))
+	}
+}
+
+func TestDiagnosticsSortedAndDeduped(t *testing.T) {
+	u := checkSource(t, "x.go", `package p
+
+func b() {}
+
+func a() {}
+`)
+	twice := &Analyzer{
+		Name: "wspair",
+		Doc:  "reports each FuncDecl twice",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s flagged", fd.Name.Name)
+						pass.Reportf(fd.Pos(), "func %s flagged", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	ds, err := Run(u, []*Analyzer{twice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messages(ds)
+	want := []string{"wspair: func b flagged", "wspair: func a flagged"} // source order
+	if len(got) != len(want) {
+		t.Fatalf("dedup failed: got %q", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package analysistest runs an analyzer over a golden corpus laid out
+// GOPATH-style under testdata/src/<pkg>/ and checks its diagnostics
+// against `// want "regex"` comments, mirroring the x/tools analysistest
+// convention without the dependency (the build is offline).
+//
+// Each `// want` comment expects one diagnostic on its own line; several
+// quoted regexes expect several diagnostics. Lines without a want
+// comment must produce no diagnostic, and every want must be matched —
+// both directions fail the test with the full actual/expected sets.
+//
+// Corpus packages may import each other by bare path (testdata/src is
+// the root) and anything from the standard library; std imports are
+// type-checked from $GOROOT source, so the corpus can exercise
+// sync.Mutex, encoding/json, sync/atomic, and friends for real.
+// Diagnostics flow through analysis.Run, so the corpus also exercises
+// //imrdmd:allow directives exactly as go vet does.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"imrdmd/internal/analysis"
+)
+
+// Run checks analyzer a against the corpus packages pkgs (import paths
+// relative to testdata/src).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := &corpusImporter{
+		root:  root,
+		std:   importer.ForCompiler(token.NewFileSet(), "source", nil),
+		cache: make(map[string]*types.Package),
+	}
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			unit, err := imp.load(pkg)
+			if err != nil {
+				t.Fatalf("loading corpus package %s: %v", pkg, err)
+			}
+			diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+			}
+			check(t, unit, diags)
+		})
+	}
+}
+
+// corpusImporter resolves corpus-local packages from root and everything
+// else from the standard library source importer.
+type corpusImporter struct {
+	root  string
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+func (ci *corpusImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ci.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ci.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		unit, err := ci.check(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		ci.cache[path] = unit.Pkg
+		return unit.Pkg, nil
+	}
+	return ci.std.Import(path)
+}
+
+// load type-checks one corpus package into a framework Unit.
+func (ci *corpusImporter) load(path string) (*analysis.Unit, error) {
+	return ci.check(path, filepath.Join(ci.root, path))
+}
+
+func (ci *corpusImporter) check(path, dir string) (*analysis.Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return analysis.CheckParsed(path, fset, files, ci, "")
+}
+
+// wantRe matches the quoted regexes of one want comment — either
+// double-quoted (with \" and \\ escapes) or backtick-quoted (literal).
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check compares diagnostics against the unit's want comments.
+func check(t *testing.T, unit *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := unit.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					pat := m[2] // backtick form: taken literally
+					if m[1] != "" || m[2] == "" {
+						pat = unquoteWant(m[1])
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", posn.Filename, posn.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Posn.Filename && w.line == d.Posn.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", filepath.Base(d.Posn.Filename), d.Posn.Line, d.Analyzer, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d: want match for %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// unquoteWant undoes the minimal escaping the want syntax needs (\" and
+// \\); everything else passes through to the regexp compiler.
+func unquoteWant(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,359 @@
+// A small intra-function control-flow graph over ast.Stmt, built for the
+// wspair dataflow (leak / double-put / use-after-put over pooled
+// workspace buffers). It models the constructs that appear on the repo's
+// compute paths — blocks, if/else, for/range, switch/type-switch,
+// select, break/continue (labeled or not), return, and panic-terminated
+// paths — and declines (CFG.Unsupported) on goto, so the analysis can
+// fall back to silence rather than guess.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A CFGBlock is a straight-line run of statements. Terminators are
+// encoded in the successor edges; Return records the return statement
+// (if any) that ends the block so exit-time reporting can point at it.
+type CFGBlock struct {
+	Stmts []ast.Stmt
+	Succs []*CFGBlock
+	// Return is set when the block ends in an explicit return.
+	Return *ast.ReturnStmt
+	// Panics is set when the block ends in a call to panic(...) — such
+	// paths do not reach the function exit for leak-reporting purposes.
+	Panics bool
+}
+
+// CFG is the graph for one function body. Exit is a synthetic empty
+// block every returning path feeds into.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Blocks []*CFGBlock
+	// Unsupported is set when the body uses control flow the builder
+	// does not model (goto); callers should skip analysis of the
+	// function rather than report from an incomplete graph.
+	Unsupported bool
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	// break/continue targets, innermost last.
+	breaks    []*CFGBlock
+	continues []*CFGBlock
+	// label -> targets, for labeled break/continue.
+	labelBreak    map[string]*CFGBlock
+	labelContinue map[string]*CFGBlock
+}
+
+// BuildCFG constructs the CFG for a function body. info may be nil; it
+// is only used to sharpen panic detection (recognizing the builtin).
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	cfg := &CFG{}
+	b := &cfgBuilder{
+		cfg:           cfg,
+		info:          info,
+		labelBreak:    make(map[string]*CFGBlock),
+		labelContinue: make(map[string]*CFGBlock),
+	}
+	cfg.Entry = b.newBlock()
+	cfg.Exit = b.newBlock()
+	last := b.stmts(body.List, cfg.Entry, "")
+	if last != nil {
+		b.edge(last, cfg.Exit) // implicit return at end of body
+	}
+	return cfg
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block
+// control falls out of (nil if the list always transfers away). label is
+// the pending label for the next loop/switch statement.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *CFGBlock, label string) *CFGBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch; keep building a
+			// detached block so its statements still get scanned (it can
+			// hold no live buffer state, which is fine).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur, label)
+		label = ""
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *CFGBlock, label string) *CFGBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur, "")
+
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Cond})
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenEnd := b.stmts(s.Body.List, thenB, "")
+		join := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseEnd := b.stmt(s.Else, elseB, "")
+			if elseEnd != nil {
+				b.edge(elseEnd, join)
+			}
+		} else {
+			b.edge(cur, join)
+		}
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, &ast.ExprStmt{X: s.Cond})
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		b.edge(post, head)
+		b.pushLoop(after, post, label)
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		bodyEnd := b.stmts(s.Body.List, bodyB, "")
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post)
+		}
+		b.popLoop(label)
+		// For a `for {}` with no reachable break, after simply has no
+		// predecessors — downstream blocks then start from empty state,
+		// which reports nothing (sound for leak detection: those paths
+		// never reach the function exit).
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Stmts = append(head.Stmts, s) // key/value bindings + ranged expr
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after) // zero iterations
+		b.pushLoop(after, head, label)
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		bodyEnd := b.stmts(s.Body.List, bodyB, "")
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head)
+		}
+		b.popLoop(label)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(s, cur, label)
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		cur.Return = s
+		b.edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.branchTarget(s, b.breaks, b.labelBreak); t != nil {
+				b.edge(cur, t)
+			}
+		case "continue":
+			if t := b.branchTarget(s, b.continues, b.labelContinue); t != nil {
+				b.edge(cur, t)
+			}
+		case "goto":
+			b.cfg.Unsupported = true
+		case "fallthrough":
+			// Handled by switchLike's case chaining; treat as fallthrough
+			// edge added there. Mark unsupported only if seen outside.
+		}
+		return nil
+
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		if isPanicStmt(s, b.info) {
+			cur.Panics = true
+			return nil
+		}
+		return cur
+	}
+}
+
+// switchLike builds switch/type-switch/select: each clause is an
+// alternative branch from the head; fallthrough chains to the next case
+// body.
+func (b *cfgBuilder) switchLike(s ast.Stmt, cur *CFGBlock, label string) *CFGBlock {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Tag})
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, s.Assign)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	after := b.newBlock()
+	b.breaks = append(b.breaks, after)
+	if label != "" {
+		b.labelBreak[label] = after
+	}
+	// Build case bodies; collect them so fallthrough can chain.
+	type caseBody struct {
+		first *CFGBlock
+		end   *CFGBlock
+		falls bool
+	}
+	var cases []caseBody
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: e})
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				stmts = append([]ast.Stmt{cl.Comm}, cl.Body...)
+			} else {
+				hasDefault = true
+				stmts = cl.Body
+			}
+		}
+		first := b.newBlock()
+		b.edge(cur, first)
+		falls := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				falls = true
+				stmts = stmts[:n-1]
+			}
+		}
+		end := b.stmts(stmts, first, "")
+		cases = append(cases, caseBody{first: first, end: end, falls: falls})
+	}
+	for i, c := range cases {
+		if c.end == nil {
+			continue
+		}
+		if c.falls && i+1 < len(cases) {
+			b.edge(c.end, cases[i+1].first)
+		} else {
+			b.edge(c.end, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after) // no case matched
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+	}
+	return after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *CFGBlock, label string) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelContinue, label)
+	}
+}
+
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, stack []*CFGBlock, labeled map[string]*CFGBlock) *CFGBlock {
+	if s.Label != nil {
+		if t, ok := labeled[s.Label.Name]; ok {
+			return t
+		}
+		b.cfg.Unsupported = true
+		return nil
+	}
+	if len(stack) == 0 {
+		b.cfg.Unsupported = true
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// isPanicStmt recognizes `panic(...)` expression statements (and
+// log.Fatal-style never-returns are deliberately not modeled — only the
+// builtin is a guaranteed terminator).
+func isPanicStmt(s ast.Stmt, info *types.Info) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if info != nil {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "panic"
+		}
+		// Unresolved (shouldn't happen in a checked package): fall back
+		// to the name match.
+	}
+	return true
+}

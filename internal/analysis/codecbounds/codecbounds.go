@@ -1,0 +1,43 @@
+// Package codecbounds enforces the PR-5 decode contract: request- and
+// snapshot-derived bytes are only decoded through internal/codec's
+// bounds-checked, checksummed primitives. Raw encoding/binary access
+// (binary.LittleEndian.Uint64(b[off:]) and friends) outside
+// internal/codec bypasses the length validation that keeps a lying
+// snapshot from OOMing or panicking the restore path, so any use of the
+// encoding/binary package outside the codec package is a finding.
+package codecbounds
+
+import (
+	"go/ast"
+
+	"imrdmd/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "codecbounds",
+	Doc: "flags encoding/binary use outside internal/codec; request-derived " +
+		"bytes must decode through the codec package's bounds-checked primitives",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The codec package is the one sanctioned encoding/binary user.
+	if analysis.PkgPathBase(pass.Pkg.Path()) == "codec" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			pass.Reportf(id.Pos(), "raw encoding/binary.%s use outside internal/codec; decode request-derived bytes through the codec package's bounds-checked primitives", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

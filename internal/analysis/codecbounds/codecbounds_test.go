@@ -1,0 +1,12 @@
+package codecbounds_test
+
+import (
+	"testing"
+
+	"imrdmd/internal/analysis/analysistest"
+	"imrdmd/internal/analysis/codecbounds"
+)
+
+func TestCodecbounds(t *testing.T) {
+	analysistest.Run(t, "testdata", codecbounds.Analyzer, "a", "codec")
+}

@@ -1,0 +1,11 @@
+package a
+
+import "encoding/binary"
+
+func badDecode(b []byte) uint64 {
+	return binary.LittleEndian.Uint64(b) // want `raw encoding/binary.LittleEndian use outside internal/codec` `raw encoding/binary.Uint64 use outside internal/codec`
+}
+
+func badPut(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b, v) // want `raw encoding/binary.BigEndian use outside internal/codec` `raw encoding/binary.PutUint32 use outside internal/codec`
+}

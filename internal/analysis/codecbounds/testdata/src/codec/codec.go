@@ -1,0 +1,12 @@
+// Package codec is the one sanctioned encoding/binary user: its
+// bounds-checked primitives are what the rest of the tree must call.
+package codec
+
+import "encoding/binary"
+
+func ReadU64(b []byte) (uint64, bool) {
+	if len(b) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b), true
+}

@@ -1,0 +1,12 @@
+package cowpublish_test
+
+import (
+	"testing"
+
+	"imrdmd/internal/analysis/analysistest"
+	"imrdmd/internal/analysis/cowpublish"
+)
+
+func TestCowpublish(t *testing.T) {
+	analysistest.Run(t, "testdata", cowpublish.Analyzer, "server")
+}

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"imrdmd/internal/analysis/analysistest"
+	"imrdmd/internal/analysis/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata", detorder.Analyzer, "mat", "svd")
+}

@@ -1,0 +1,29 @@
+package mat
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in kernel package mat`
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in kernel package mat`
+}
+
+func badRand() float64 {
+	return rand.Float64() // want `math/rand.Float64 in kernel package mat`
+}
+
+// Duration arithmetic and constants stay legal.
+func okDuration(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}
+
+// The sanctioned escape hatch for boot-time probes.
+func okAllowed() time.Time {
+	//imrdmd:allow detorder -- corpus check: boot-time probe, never on the kernel path
+	return time.Now()
+}

@@ -1,0 +1,53 @@
+package svd
+
+func badAccumulate(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order feeds float accumulation`
+		sum += v
+	}
+	return sum
+}
+
+func badElementStore(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m { // want `map iteration order feeds a float element store`
+		out[i] = v * 2
+		i++
+	}
+}
+
+func badPayload(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `map iteration order feeds payload assembly \(append\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted-key iteration is the prescribed fix.
+func okSortedKeys(keys []int, m map[int]float64) float64 {
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Order-insensitive map loops stay legal.
+func okCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func okMax(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+// Standalone package loading for imrdmd-vet: `imrdmd-vet ./...` resolves
+// patterns with `go list -export -deps -json`, parses each target
+// package from source, and type-checks it against the gc export data the
+// go command just built for every dependency. This is the same
+// type-checking recipe the `go vet -vettool` unitchecker path uses
+// (unit.go), just with the configuration discovered instead of handed
+// over in a vet.cfg — so `make lint` and CI see identical diagnostics.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct{ Err string }
+}
+
+// LoadPackages resolves the patterns in dir and returns one type-checked
+// Unit per matched (non-dependency) package.
+func LoadPackages(dir string, patterns ...string) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var all []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		all = append(all, &p)
+	}
+
+	exports := make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	var units []*Unit
+	for _, p := range all {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			if strings.HasPrefix(f, "/") {
+				files = append(files, f)
+			} else {
+				files = append(files, p.Dir+"/"+f)
+			}
+		}
+		u, err := CheckFiles(p.ImportPath, files, exportLookup(exports, nil), goVersion)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// exportLookup builds the importer lookup over a path -> export-file
+// map, applying the source-import-path -> canonical-path rename map
+// first (vet.cfg's ImportMap; nil in standalone mode where paths are
+// already canonical).
+func exportLookup(exports, importMap map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// CheckFiles parses and type-checks one package from its source files,
+// resolving every import through lookup (gc export data). It returns a
+// Unit ready for Run.
+func CheckFiles(importPath string, filenames []string, lookup func(string) (io.ReadCloser, error), goVersion string) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return CheckParsed(importPath, fset, files, importer.ForCompiler(fset, "gc", lookup), goVersion)
+}
+
+// CheckParsed type-checks already-parsed files with the given importer.
+func CheckParsed(importPath string, fset *token.FileSet, files []*ast.File, imp types.Importer, goVersion string) (*Unit, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Unit{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"imrdmd/internal/analysis/analysistest"
+	"imrdmd/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, "testdata", lockio.Analyzer, "server")
+}

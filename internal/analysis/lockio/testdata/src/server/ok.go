@@ -1,0 +1,53 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Assemble under the lock, render outside: the sanctioned shape.
+func (r *registry) okMarshalOutside() []byte {
+	r.mu.Lock()
+	n := len(r.data)
+	r.mu.Unlock()
+	b, _ := json.Marshal(n)
+	return b
+}
+
+// Marshal before taking the lock.
+func (r *registry) okMarshalBefore() []byte {
+	b, _ := json.Marshal(len(r.data))
+	r.mu.Lock()
+	r.data["published"] = len(b)
+	r.mu.Unlock()
+	return b
+}
+
+// Pure os accessors are allowed under a lock.
+func (r *registry) okGetenv() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return os.Getenv("HOME")
+}
+
+// A closure built under the lock runs later, outside the region.
+func (r *registry) okClosure() func() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.data)
+	return func() []byte {
+		b, _ := json.Marshal(n)
+		return b
+	}
+}
+
+// An inner region that closes before the marshal.
+func (r *registry) okInnerRegion(cond bool) []byte {
+	if cond {
+		r.mu.Lock()
+		r.data["hits"]++
+		r.mu.Unlock()
+	}
+	b, _ := json.Marshal(r.data)
+	return b
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+type registry struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// Direct marshal in a defer-unlock region.
+func (r *registry) badMarshal() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, _ := json.Marshal(r.data) // want `marshaling under a lock rides the ingest latency tail`
+	return b
+}
+
+// The publish → assemble → render chain the real tree had: the sink is
+// three helpers below the call made under the lock.
+func (r *registry) badChain() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.publish() // want `publish while r.mu is held reaches assemble → render → json.Marshal`
+}
+
+func (r *registry) publish() []byte  { return r.assemble() }
+func (r *registry) assemble() []byte { return render(r.data) }
+
+func render(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// File-system access inside an explicit Lock…Unlock region.
+func (r *registry) badFile(path string) {
+	r.mu.Lock()
+	_ = os.WriteFile(path, nil, 0o644) // want `file-system access under a lock`
+	r.mu.Unlock()
+}
+
+// Reading a request body (io interface method) under a read lock still
+// blocks writers for as long as the client takes.
+func (r *registry) badBodyRead(body io.Reader, dst []byte) {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	_, _ = body.Read(dst) // want `I/O through an io interface under a lock`
+}
+
+// io helper driving an unknown endpoint.
+func (r *registry) badCopy(w io.Writer, src io.Reader) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = io.Copy(w, src) // want `I/O under a lock lets a slow reader/writer stall`
+}

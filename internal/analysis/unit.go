@@ -1,0 +1,162 @@
+// The cmd/go vettool protocol. `go vet -vettool=imrdmd-vet ./...` drives
+// the binary the same way it drives the bundled vet tool:
+//
+//   - `imrdmd-vet -V=full` must print "<name> version devel ...
+//     buildID=<content hash>" — cmd/go folds the line into its action
+//     cache key, which is what makes the CI vettool leg cacheable.
+//   - `imrdmd-vet -flags` must print a JSON description of the flags the
+//     tool accepts, so cmd/go knows which command-line flags to forward.
+//   - per package, cmd/go writes a vet.cfg (the vetConfig JSON below)
+//     naming the source files, the import map, and the export-data file
+//     for every dependency, then invokes `imrdmd-vet <flags> vet.cfg`.
+//     The tool type-checks from those inputs — no network, no go/packages
+//     — reports findings to stderr, writes the (empty, we are fact-free)
+//     facts file cmd/go caches, and exits 2 when it found anything.
+//
+// Reference: go/src/cmd/go/internal/work/exec.go (buildVetConfig, vet).
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// VetConfig mirrors cmd/go's vetConfig (the vet.cfg JSON schema).
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker handles one `imrdmd-vet <cfgFile>` invocation from
+// cmd/go: load the config, type-check the package, run the analyzers,
+// print findings, write the facts file. The returned exit code follows
+// the vet convention (0 clean, 1 tool failure, 2 findings).
+func RunUnitchecker(cfgFile string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "imrdmd-vet: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "imrdmd-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go caches and reuses the facts ("vetx") output; our analyzers
+	// are fact-free, so an empty file both satisfies the cache and keeps
+	// re-vets incremental.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "imrdmd-vet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency package: cmd/go only wants facts, not findings.
+		return 0
+	}
+
+	unit, err := CheckFiles(cfg.ImportPath, cfg.GoFiles, exportLookup(cfg.PackageFile, cfg.ImportMap), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go's documented hack (#18395): a package that does not
+			// compile is reported by the build, not by vet.
+			return 0
+		}
+		fmt.Fprintf(stderr, "imrdmd-vet: %v\n", err)
+		return 1
+	}
+	diags, err := Run(unit, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "imrdmd-vet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		writeJSONDiagnostics(stdout, cfg.ID, diags)
+		return 0 // JSON mode reports through stdout, not the exit code
+	}
+	fmt.Fprintf(stderr, "# %s\n", cfg.ID)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Posn, d.Message)
+	}
+	return 2
+}
+
+// writeJSONDiagnostics emits the {pkgID: {analyzer: [{posn, message}]}}
+// shape `go vet -json` expects from a vet tool.
+func writeJSONDiagnostics(w io.Writer, pkgID string, diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Posn.String(), Message: d.Message})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	b, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		panic(fmt.Sprintf("analysis: marshaling diagnostics: %v", err)) // structs of strings cannot fail
+	}
+	w.Write(append(b, '\n'))
+}
+
+// PrintVersion implements `-V=full`. cmd/go requires the second field to
+// be "version" and, for a "devel" version, a final "buildID=" field; the
+// content hash of the executable makes rebuilt tools produce new cache
+// keys (see toolID in go/src/cmd/go/internal/work/buildid.go).
+func PrintVersion(w io.Writer) {
+	progname, _ := os.Executable()
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%x\n", filepath.Base(progname), h.Sum(nil))
+}
+
+// PrintFlags implements `-flags`: a JSON description of the supported
+// flags, which cmd/go consults to decide what it may forward.
+func PrintFlags(w io.Writer, analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit JSON output"},
+	}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable only the " + a.Name + " analyzer (and other explicitly enabled ones)"})
+	}
+	b, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		panic(fmt.Sprintf("analysis: marshaling flags: %v", err))
+	}
+	w.Write(append(b, '\n'))
+}

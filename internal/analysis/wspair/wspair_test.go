@@ -1,0 +1,12 @@
+package wspair_test
+
+import (
+	"testing"
+
+	"imrdmd/internal/analysis/analysistest"
+	"imrdmd/internal/analysis/wspair"
+)
+
+func TestWspair(t *testing.T) {
+	analysistest.Run(t, "testdata", wspair.Analyzer, "a")
+}

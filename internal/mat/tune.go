@@ -235,12 +235,14 @@ func sweepCaches() cacheInfo {
 		for off := 0; off < sz; off += line {
 			sink += buf[off]
 		}
+		//imrdmd:allow detorder -- boot-time cache-size probe; runs once before any batch, never on the kernel path
 		start := time.Now()
 		for r := 0; r < reps; r++ {
 			for off := 0; off < sz; off += line {
 				sink += buf[off]
 			}
 		}
+		//imrdmd:allow detorder -- boot-time cache-size probe; runs once before any batch, never on the kernel path
 		perLine[i] = float64(time.Since(start)) / float64(reps*lines)
 	}
 	sweepSink = sink

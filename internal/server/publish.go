@@ -56,26 +56,63 @@ type PublishedResult struct {
 	GridCols   int
 	Modes      int
 	Levels     int
+	Nodes      int
+	Steps      int
 
-	// Pre-marshaled response bodies and their strong ETags (quoted
-	// FNV-64a of the body): handlers write these bytes verbatim.
-	ModesJSON  []byte
-	ErrorJSON  []byte
-	StatusJSON []byte
-	ModesETag  string
-	ErrorETag  string
-	StatusETag string
+	// Response bodies and their strong ETags (quoted FNV-64a of the
+	// body) are rendered lazily, once per published version, by the
+	// first reader that needs each one. Ingest publishes a result per
+	// absorbed request whether or not anyone is watching; rendering on
+	// first read keeps every marshal off the ingest latency tail (the
+	// tenant mutex is held across publish — see the lockio analyzer) and
+	// skips it entirely for versions that age out of the ring unread.
+	// sync.Once gives the same frozen-bytes guarantee handlers rely on.
+	// The spectrum body is by far the largest payload (~70 KB at bench
+	// scale); modes/error/status are small but ride the same path so the
+	// critical section stays marshal-free.
+	modesOnce  sync.Once
+	modesJSON  []byte
+	modesETag  string
+	errorOnce  sync.Once
+	errorJSON  []byte
+	errorETag  string
+	statusOnce sync.Once
+	statusJSON []byte
+	statusETag string
 
-	// The spectrum body — by far the largest payload (~70 KB at bench
-	// scale) — is rendered lazily, once per published version, by the
-	// first reader that needs it. Ingest publishes a result per absorbed
-	// request whether or not anyone is watching; rendering on first read
-	// keeps the marshal off the ingest latency tail and skips it
-	// entirely for versions that age out of the ring unread. sync.Once
-	// gives the same frozen-bytes guarantee handlers rely on.
 	spectrumOnce sync.Once
 	spectrumJSON []byte
 	spectrumETag string
+}
+
+// ModesBody returns the frozen GET /modes response body and its strong
+// ETag, rendering them on first call. Safe for concurrent use.
+func (p *PublishedResult) ModesBody() (body []byte, etag string) {
+	p.modesOnce.Do(func() {
+		p.modesJSON = mustJSON(modesPayload{Modes: p.Modes, Levels: p.Levels, Nodes: p.Nodes, Steps: p.Steps})
+		p.modesETag = strongETag(p.modesJSON)
+	})
+	return p.modesJSON, p.modesETag
+}
+
+// ErrorBody returns the frozen GET /error response body and its strong
+// ETag, rendering them on first call. Safe for concurrent use.
+func (p *PublishedResult) ErrorBody() (body []byte, etag string) {
+	p.errorOnce.Do(func() {
+		p.errorJSON = mustJSON(errorPayload{ReconError: p.ReconError, Steps: p.Steps, GridCols: p.GridCols, Drift: p.Drift})
+		p.errorETag = strongETag(p.errorJSON)
+	})
+	return p.errorJSON, p.errorETag
+}
+
+// StatusBody returns the frozen GET /status response body and its
+// strong ETag, rendering them on first call. Safe for concurrent use.
+func (p *PublishedResult) StatusBody() (body []byte, etag string) {
+	p.statusOnce.Do(func() {
+		p.statusJSON = mustJSON(p.Status)
+		p.statusETag = strongETag(p.statusJSON)
+	})
+	return p.statusJSON, p.statusETag
 }
 
 // SpectrumBody returns the frozen spectrum response body and its strong
@@ -173,7 +210,7 @@ func newPublishedResult(version uint64, seeded bool, view core.View, st TenantSt
 	for i, p := range view.Spectrum {
 		spectrum[i] = SpectrumPoint{Freq: p.Freq, Power: p.Power, Amp: p.Amp, Grow: p.Grow, Level: p.Level}
 	}
-	pub := &PublishedResult{
+	return &PublishedResult{
 		Version:    version,
 		Seeded:     seeded,
 		Spectrum:   spectrum,
@@ -183,14 +220,9 @@ func newPublishedResult(version uint64, seeded bool, view core.View, st TenantSt
 		GridCols:   view.GridCols,
 		Modes:      view.NumModes,
 		Levels:     view.MaxLevel,
+		Nodes:      view.Nodes,
+		Steps:      view.Steps,
 	}
-	pub.ModesJSON = mustJSON(modesPayload{Modes: view.NumModes, Levels: view.MaxLevel, Nodes: view.Nodes, Steps: view.Steps})
-	pub.ErrorJSON = mustJSON(errorPayload{ReconError: view.GridError, Steps: view.Steps, GridCols: view.GridCols, Drift: view.LastDrift})
-	pub.StatusJSON = mustJSON(st)
-	pub.ModesETag = strongETag(pub.ModesJSON)
-	pub.ErrorETag = strongETag(pub.ErrorJSON)
-	pub.StatusETag = strongETag(pub.StatusJSON)
-	return pub
 }
 
 // spectrumDelta computes the multiset difference between two published

@@ -406,7 +406,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pub := t.pub.Load()
-	servePublished(w, r, pub.Version, pub.StatusETag, pub.StatusJSON)
+	body, etag := pub.StatusBody()
+	servePublished(w, r, pub.Version, etag, body)
 }
 
 // seededPublished resolves the request tenant's current published result
@@ -440,7 +441,8 @@ func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	servePublished(w, r, pub.Version, pub.ModesETag, pub.ModesJSON)
+	body, etag := pub.ModesBody()
+	servePublished(w, r, pub.Version, etag, body)
 }
 
 // SpectrumPoint is the wire form of one retained mode. A comparable
@@ -503,7 +505,8 @@ func (s *Server) handleError(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	servePublished(w, r, pub.Version, pub.ErrorETag, pub.ErrorJSON)
+	body, etag := pub.ErrorBody()
+	servePublished(w, r, pub.Version, etag, body)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
